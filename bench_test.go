@@ -1,0 +1,492 @@
+// Benchmarks regenerating the paper's evaluation at reduced scale: one
+// benchmark per figure, plus the design ablations called out in DESIGN.md
+// (trellis pruning rules, buffer quantization, flush term, event-driven vs
+// per-frame call simulation). Full-scale runs live in cmd/rcbrsim.
+package rcbr_test
+
+import (
+	"testing"
+
+	"rcbr/internal/admission"
+	"rcbr/internal/bookahead"
+	"rcbr/internal/callsim"
+	"rcbr/internal/cell"
+	"rcbr/internal/core"
+	"rcbr/internal/experiments"
+	"rcbr/internal/heuristic"
+	"rcbr/internal/ld"
+	"rcbr/internal/markov"
+	"rcbr/internal/mux"
+	"rcbr/internal/path"
+	"rcbr/internal/queue"
+	"rcbr/internal/shaper"
+	"rcbr/internal/smg"
+	"rcbr/internal/stats"
+	"rcbr/internal/switchfab"
+	"rcbr/internal/trace"
+	"rcbr/internal/trellis"
+)
+
+// benchFrames keeps the benchmark workload small: 50 s of video.
+const benchFrames = 1200
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	return experiments.StarWars(1, benchFrames)
+}
+
+func benchSchedule(b *testing.B, tr *trace.Trace) *core.Schedule {
+	b.Helper()
+	sch, err := experiments.OptimalSchedule(tr, 300e3, 3e5,
+		experiments.FeasibleLevels(tr, 300e3, 12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sch
+}
+
+// --- Fig. 2: renegotiation frequency vs bandwidth efficiency ---
+
+func BenchmarkFig2OPT(b *testing.B) {
+	tr := benchTrace(b)
+	levels := experiments.FeasibleLevels(tr, 300e3, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := trellis.Optimize(tr, trellis.Options{
+			Levels:         levels,
+			BufferBits:     300e3,
+			BufferGridBits: 300e3 / 2048,
+			Cost:           core.CostModel{Alpha: 1e6, Beta: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2AR1(b *testing.B) {
+	tr := benchTrace(b)
+	p := heuristic.DefaultParams(100e3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristic.Run(tr, 300e3, p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 5: the (c, B) curve ---
+
+func BenchmarkFig5CBCurve(b *testing.B) {
+	tr := benchTrace(b)
+	buffers := queue.LogSpace(100e3, 20e6, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queue.CBCurve(tr, buffers, 1e-4)
+	}
+}
+
+// --- Fig. 6: per-stream capacity of the three scenarios ---
+
+func fig6Config(b *testing.B) smg.Config {
+	tr := benchTrace(b)
+	return smg.Config{
+		Trace:      tr,
+		Schedule:   benchSchedule(b, tr),
+		BufferBits: 300e3,
+		LossTarget: 1e-4,
+		MinReps:    3,
+		MaxReps:    6,
+		CIFrac:     0.3,
+		Seed:       1,
+	}
+}
+
+func BenchmarkFig6CBR(b *testing.B) {
+	cfg := fig6Config(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smg.CBRRate(cfg.Trace, cfg.BufferBits, cfg.LossTarget)
+	}
+}
+
+func BenchmarkFig6Shared(b *testing.B) {
+	cfg := fig6Config(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := smg.SharedRate(cfg, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6RCBR(b *testing.B) {
+	cfg := fig6Config(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := smg.RCBRRate(cfg, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figs. 7/8 and the Fig. 9 extension: MBAC call simulation ---
+
+func benchMBAC(b *testing.B, scheme string) {
+	tr := benchTrace(b)
+	sch := benchSchedule(b, tr)
+	levels := experiments.FeasibleLevels(tr, 300e3, 12)
+	desc := sch.Descriptor(levels)
+	dist := ld.Dist{P: desc.Probabilities(), X: desc.Levels()}
+	capacity := 10 * sch.MeanRate()
+	lam := callsim.OfferedLoad(1.0, capacity, sch.MeanRate(), sch.DurationSec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ctrl admission.Controller
+		var err error
+		switch scheme {
+		case "perfect":
+			ctrl, err = admission.NewPerfectKnowledge(dist, capacity, 1e-3)
+		case "memoryless":
+			ctrl, err = admission.NewMemoryless(levels, capacity, 1e-3)
+		case "memory":
+			ctrl, err = admission.NewMemory(levels, capacity, 1e-3)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = callsim.Run(callsim.Config{
+			Schedule:      sch,
+			Capacity:      capacity,
+			ArrivalRate:   lam,
+			Controller:    ctrl,
+			TargetFailure: 1e-3,
+			MinBatches:    3,
+			MaxBatches:    6,
+			CIFrac:        0.3,
+			Seed:          uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7MemorylessMBAC(b *testing.B) { benchMBAC(b, "memoryless") }
+func BenchmarkFig8PerfectMBAC(b *testing.B)    { benchMBAC(b, "perfect") }
+func BenchmarkFig9MemoryMBAC(b *testing.B)     { benchMBAC(b, "memory") }
+
+// --- Section IV-A runtime claim: cost of more bandwidth levels ---
+
+func benchTrellisLevels(b *testing.B, k int) {
+	tr := benchTrace(b)
+	levels := experiments.FeasibleLevels(tr, 300e3, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := trellis.Optimize(tr, trellis.Options{
+			Levels:         levels,
+			BufferBits:     300e3,
+			BufferGridBits: 300e3 / 2048,
+			Cost:           core.CostModel{Alpha: 1e6, Beta: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrellisLevels5(b *testing.B)  { benchTrellisLevels(b, 5) }
+func BenchmarkTrellisLevels10(b *testing.B) { benchTrellisLevels(b, 10) }
+func BenchmarkTrellisLevels20(b *testing.B) { benchTrellisLevels(b, 20) }
+func BenchmarkTrellisLevels50(b *testing.B) { benchTrellisLevels(b, 50) }
+
+// --- Ablation: Lemma-1 pruning rules ---
+
+func benchTrellisPruning(b *testing.B, pr trellis.Pruning, frames int) {
+	tr := experiments.StarWars(1, frames)
+	levels := experiments.FeasibleLevels(tr, 300e3, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := trellis.Optimize(tr, trellis.Options{
+			Levels:         levels,
+			BufferBits:     300e3,
+			BufferGridBits: 300e3 / 2048,
+			Cost:           core.CostModel{Alpha: 1e6, Beta: 1},
+			Pruning:        pr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrellisPruneFull(b *testing.B) {
+	benchTrellisPruning(b, trellis.PruneFull, benchFrames)
+}
+func BenchmarkTrellisPruneSameRate(b *testing.B) {
+	benchTrellisPruning(b, trellis.PruneSameRate, benchFrames)
+}
+func BenchmarkTrellisPruneExact(b *testing.B) {
+	// The textbook rule explodes; keep the horizon very short.
+	benchTrellisPruning(b, trellis.PruneExact, 120)
+}
+
+// --- Ablation: buffer quantization grid ---
+
+func BenchmarkTrellisExactBuffer(b *testing.B) {
+	tr := benchTrace(b)
+	levels := experiments.FeasibleLevels(tr, 300e3, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := trellis.Optimize(tr, trellis.Options{
+			Levels:     levels,
+			BufferBits: 300e3,
+			Cost:       core.CostModel{Alpha: 1e6, Beta: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: heuristic flush term ---
+
+func benchHeuristicFlush(b *testing.B, disable bool) {
+	tr := benchTrace(b)
+	p := heuristic.DefaultParams(100e3)
+	p.DisableFlushTerm = disable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristic.Run(tr, 600e3, p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristicWithFlushTerm(b *testing.B)    { benchHeuristicFlush(b, false) }
+func BenchmarkHeuristicWithoutFlushTerm(b *testing.B) { benchHeuristicFlush(b, true) }
+
+// --- Ablation: event-driven vs per-frame call simulation (footnote 4) ---
+
+func BenchmarkCallSimEventDriven(b *testing.B) {
+	tr := benchTrace(b)
+	sch := benchSchedule(b, tr)
+	capacity := 10 * sch.MeanRate()
+	lam := callsim.OfferedLoad(0.8, capacity, sch.MeanRate(), sch.DurationSec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := callsim.Run(callsim.Config{
+			Schedule:    sch,
+			Capacity:    capacity,
+			ArrivalRate: lam,
+			Controller:  admission.Unlimited{},
+			MinBatches:  3,
+			MaxBatches:  3,
+			CIFrac:      0.3,
+			Seed:        uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallSimPerFrame(b *testing.B) {
+	// The naive alternative the paper's footnote 4 avoids: walk every
+	// frame slot of every active call. Modeled as the same number of
+	// batches over the expanded per-slot rate vectors.
+	tr := benchTrace(b)
+	sch := benchSchedule(b, tr)
+	rates := sch.Rates()
+	const activeCalls = 8
+	r := stats.NewRNG(7)
+	offsets := make([]int, activeCalls)
+	for i := range offsets {
+		offsets[i] = r.Intn(len(rates))
+	}
+	capacity := 10 * sch.MeanRate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var failures int
+		for batch := 0; batch < 3; batch++ {
+			for t := 0; t < len(rates); t++ {
+				var demand float64
+				for _, off := range offsets {
+					demand += rates[(t+off)%len(rates)]
+				}
+				if demand > capacity {
+					failures++
+				}
+			}
+		}
+		_ = failures
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkEffectiveBandwidth(b *testing.B) {
+	m := markov.PaperExample(1000, 1e-4)
+	flat, err := m.Flatten()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ld.EffectiveBandwidth(flat, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChernoffAdmission(b *testing.B) {
+	d := ld.Dist{P: []float64{0.7, 0.2, 0.1}, X: []float64{1e5, 3e5, 9e5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.MaxCalls(1e7, 1e-3)
+	}
+}
+
+func BenchmarkQueueRun(b *testing.B) {
+	tr := benchTrace(b)
+	arr := queue.Arrivals(tr)
+	slot := tr.SlotSeconds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queue.Run(arr, slot, 500e3, 300e3)
+	}
+}
+
+func BenchmarkSyntheticTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.StarWars(uint64(i+1), benchFrames)
+	}
+}
+
+// --- Section II baseline: token-bucket characterization ---
+
+func BenchmarkSection2Burstiness(b *testing.B) {
+	tr := benchTrace(b)
+	rates := []float64{1.05, 1.5, 2, 3, 4}
+	for i := range rates {
+		rates[i] *= tr.MeanRate()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shaper.BurstinessCurve(tr, rates)
+	}
+}
+
+// --- Section III data plane: cell-level multiplexer ---
+
+func BenchmarkMuxCBR(b *testing.B) {
+	rates := make([]float64, 8)
+	for i := range rates {
+		rates[i] = 448e3
+	}
+	flows := mux.CBRFlowsForRates(rates, 384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mux.RunCBR(flows, 12000, 256, 1.0)
+	}
+}
+
+func BenchmarkMuxFrameBursts(b *testing.B) {
+	tr := experiments.StarWars(1, 240)
+	shifts := []int{0, 60, 120, 180}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mux.RunFrameBursts(tr, shifts, 12000, 1<<20, 384)
+	}
+}
+
+// --- Section III-A.2: book-ahead admission ---
+
+func BenchmarkBookaheadBook(b *testing.B) {
+	tr := benchTrace(b)
+	sch := benchSchedule(b, tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cal := bookahead.NewCalendar(20 * sch.MeanRate())
+		for k := 0; k < 16; k++ {
+			_, _ = cal.Book(float64(k)*7, sch)
+		}
+	}
+}
+
+// --- Section III-C: multi-hop renegotiation and signaling latency ---
+
+func BenchmarkPathRenegotiate(b *testing.B) {
+	hops := make([]path.Hop, 4)
+	for i := range hops {
+		sw := switchfab.New(nil)
+		if err := sw.AddPort(1, 10e6); err != nil {
+			b.Fatal(err)
+		}
+		hops[i] = path.Hop{Switch: sw, Port: 1}
+	}
+	p, err := path.Setup(1, hops, 100e3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Renegotiate(500e3); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := p.Renegotiate(100e3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristicWithSignalDelay(b *testing.B) {
+	tr := benchTrace(b)
+	p := heuristic.DefaultParams(100e3)
+	p.SignalDelaySlots = 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristic.Run(tr, 600e3, p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Signaling plane micro-benchmarks ---
+
+func BenchmarkRMCellRoundTrip(b *testing.B) {
+	h := cell.Header{VCI: 42}
+	m := cell.RM{ER: 128e3, Seq: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := cell.Build(h, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := cell.Parse(raw[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSwitchHandleRM(b *testing.B) {
+	sw := switchfab.New(nil)
+	if err := sw.AddPort(1, 155e6); err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.Setup(1, 1, 374e3); err != nil {
+		b.Fatal(err)
+	}
+	h := cell.Header{VCI: 1}
+	up := cell.RM{ER: 64e3}
+	down := cell.RM{ER: 64e3, Decrease: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.HandleRM(h, up); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sw.HandleRM(h, down); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command rcbrd runs an RCBR switch daemon: a software switch (package
+// switchfab) exposed over the UDP signaling protocol (package netproto).
+// Sources set up VCs, renegotiate with RM cells, and tear down.
+//
+// Usage:
+//
+//	rcbrd [-listen 127.0.0.1:4059] [-ports "1:155e6,2:155e6"] [-v]
+//
+// Each port spec is id:capacity with capacity in bits/second.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"rcbr/internal/netproto"
+	"rcbr/internal/switchfab"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:4059", "UDP listen address")
+		ports   = flag.String("ports", "1:155e6", "comma-separated port specs id:capacity")
+		verbose = flag.Bool("v", false, "log signaling errors")
+	)
+	flag.Parse()
+
+	sw := switchfab.New(nil)
+	if err := addPorts(sw, *ports); err != nil {
+		fatal(err)
+	}
+
+	var logger *log.Logger
+	if *verbose {
+		logger = log.New(os.Stderr, "rcbrd ", log.LstdFlags|log.Lmicroseconds)
+	}
+	srv, err := netproto.NewServer(*listen, sw, logger)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rcbrd: listening on %s\n", srv.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	st := sw.Stats()
+	fmt.Printf("rcbrd: setups=%d rejects=%d teardowns=%d renegotiations=%d denials=%d resyncs=%d\n",
+		st.Setups, st.SetupRejects, st.Teardowns, st.Renegotiations, st.Denials, st.Resyncs)
+}
+
+func addPorts(sw *switchfab.Switch, spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad port spec %q (want id:capacity)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return fmt.Errorf("bad port id %q", kv[0])
+		}
+		capacity, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad capacity %q", kv[1])
+		}
+		if err := sw.AddPort(id, capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcbrd:", err)
+	os.Exit(1)
+}

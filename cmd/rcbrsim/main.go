@@ -1,0 +1,485 @@
+// Command rcbrsim regenerates every figure of the RCBR paper's evaluation.
+//
+// Usage:
+//
+//	rcbrsim fig2  [-frames N] [-seed S]            renegotiation tradeoff
+//	rcbrsim fig5  [-frames N] [-seed S]            (c, B) curve
+//	rcbrsim fig6  [-frames N] [-seed S] [-ns ...]  SMG of the three scenarios
+//	rcbrsim fig7  [-frames N] [-seed S]            memoryless MBAC failure
+//	rcbrsim fig8  [-frames N] [-seed S]            memoryless MBAC utilization
+//	rcbrsim fig9  [-frames N] [-seed S]            memory MBAC (extension)
+//	rcbrsim analysis                               eqs. (9)-(11) on Fig. 4 model
+//
+// Full-length runs (-frames 0 selects the whole two-hour trace) reproduce
+// the paper's setup; shorter traces keep the shapes with less wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"rcbr/internal/experiments"
+	"rcbr/internal/fit"
+	"rcbr/internal/ld"
+	"rcbr/internal/queue"
+	"rcbr/internal/rvbr"
+	"rcbr/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig2":
+		err = fig2(args)
+	case "fig5":
+		err = fig5(args)
+	case "fig6":
+		err = fig6(args)
+	case "fig7":
+		err = mbac(args, "memoryless", "fig7: memoryless MBAC renegotiation failure probability")
+	case "fig8":
+		err = mbac(args, "memoryless", "fig8: memoryless MBAC normalized utilization")
+	case "fig9":
+		err = mbac(args, "memory", "fig9 (extension): memory-based MBAC")
+	case "analysis":
+		err = analysis(args)
+	case "section2":
+		err = section2(args)
+	case "datapath":
+		err = datapath(args)
+	case "latency":
+		err = latency(args)
+	case "chernoff":
+		err = chernoff(args)
+	case "fit":
+		err = fitModel(args)
+	case "rvbr":
+		err = rvbrCompare(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rcbrsim: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcbrsim %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `rcbrsim regenerates the RCBR paper's figures.
+commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 datapath latency chernoff fit rvbr
+run "rcbrsim <command> -h" for per-command flags`)
+}
+
+// commonFlags registers the trace-selection flags shared by the figure
+// commands.
+func commonFlags(fs *flag.FlagSet) (*int, *uint64) {
+	frames := fs.Int("frames", 28800, "trace length in frames (0 = full two hours)")
+	seed := fs.Uint64("seed", 1, "trace generator seed")
+	return frames, seed
+}
+
+func buildTrace(frames int, seed uint64) *trace.Trace {
+	tr := experiments.StarWars(seed, frames)
+	sum, err := tr.Summarize()
+	if err == nil {
+		fmt.Printf("trace: %s\n", sum)
+	}
+	return tr
+}
+
+func fig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	buffer := fs.Float64("buffer", 300e3, "source buffer B in bits")
+	levels := fs.Int("levels", 20, "number of OPT bandwidth levels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := buildTrace(*frames, *seed)
+	cfg := experiments.DefaultFig2Config(tr)
+	cfg.BufferBits = *buffer
+	cfg.Levels = experiments.FeasibleLevels(tr, *buffer, *levels)
+	rows, err := experiments.Fig2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fig2: mean renegotiation interval vs bandwidth efficiency (B = 300 kb)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "kind\tparam\trenegs\tinterval(s)\tefficiency\tmaxOcc(kb)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.3g\t%d\t%.2f\t%.4f\t%.1f\n",
+			r.Kind, r.Param, r.Renegotiations, r.RenegIntervalSec,
+			r.Efficiency, r.MaxOccupancyBits/1e3)
+	}
+	return w.Flush()
+}
+
+func fig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	target := fs.Float64("loss", 1e-6, "bit-loss fraction target")
+	points := fs.Int("points", 12, "points on the curve")
+	bufLo := fs.Float64("buflo", 30e3, "smallest buffer (bits)")
+	bufHi := fs.Float64("bufhi", 200e6, "largest buffer (bits)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := buildTrace(*frames, *seed)
+	pts := experiments.Fig5(tr, *target, *bufLo, *bufHi, *points)
+	mean := tr.MeanRate()
+	fmt.Printf("fig5: (c, B) curve for loss <= %g\n", *target)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "buffer(kb)\tminRate(kb/s)\trate/mean")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%.0f\t%.0f\t%.2f\n", p.BufferBits/1e3, p.Rate/1e3, p.Rate/mean)
+	}
+	return w.Flush()
+}
+
+func fig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	alpha := fs.Float64("alpha", 3e6, "renegotiation cost (tunes ~12 s intervals)")
+	target := fs.Float64("loss", 1e-6, "bit-loss fraction target")
+	nsFlag := fs.String("ns", "1,2,5,10,20,50,100,200,500,1000", "source counts")
+	maxReps := fs.Int("reps", 20, "max randomized phasings per capacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		return err
+	}
+	tr := buildTrace(*frames, *seed)
+	cfg, err := experiments.DefaultFig6Config(tr, *alpha)
+	if err != nil {
+		return err
+	}
+	cfg.Ns = ns
+	cfg.LossTarget = *target
+	cfg.MaxReps = *maxReps
+	fmt.Printf("fig6: schedule renegs=%d interval=%.1fs efficiency=%.4f\n",
+		cfg.Schedule.Renegotiations(), cfg.Schedule.MeanRenegIntervalSec(),
+		cfg.Schedule.BandwidthEfficiency(tr))
+	pts, err := experiments.Fig6(cfg)
+	if err != nil {
+		return err
+	}
+	mean := tr.MeanRate()
+	fmt.Printf("fig6: per-stream capacity (units of mean rate %.0f b/s) for loss <= %g\n",
+		mean, *target)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "N\tCBR\tshared\tRCBR")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\n",
+			p.N, p.CBR/mean, p.Shared/mean, p.RCBR/mean)
+	}
+	return w.Flush()
+}
+
+func mbac(args []string, scheme, title string) error {
+	fs := flag.NewFlagSet(scheme, flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	alpha := fs.Float64("alpha", 3e6, "schedule renegotiation cost")
+	capsFlag := fs.String("caps", "10,25,50,100", "link capacities (multiples of call mean rate)")
+	loadsFlag := fs.String("loads", "0.4,0.6,0.8,1.0,1.2", "normalized offered loads")
+	target := fs.Float64("target", 1e-3, "renegotiation failure target")
+	maxBatches := fs.Int("batches", 40, "max measurement batches")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	capsM, err := parseFloats(*capsFlag)
+	if err != nil {
+		return err
+	}
+	loads, err := parseFloats(*loadsFlag)
+	if err != nil {
+		return err
+	}
+	tr := buildTrace(*frames, *seed)
+	cfg6, err := experiments.DefaultFig6Config(tr, *alpha)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultMBACConfig(cfg6.Schedule)
+	cfg.CapacityMultiples = capsM
+	cfg.Loads = loads
+	cfg.TargetFailure = *target
+	cfg.Schemes = []string{scheme}
+	cfg.MaxBatches = *maxBatches
+	cfg.Seed = *seed
+	rows, err := experiments.MBAC(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	fmt.Printf("target failure probability: %g\n", *target)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "capX\tload\tfailProb\t(perfect)\tnormUtil\tutil\tblocking\tbatches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.0f\t%.2f\t%.2e\t%.2e\t%.3f\t%.3f\t%.3f\t%d\n",
+			r.CapacityX, r.Load, r.FailureProb, r.PerfectFail,
+			r.NormUtil, r.Utilization, r.BlockingProb, r.Batches)
+	}
+	return w.Flush()
+}
+
+func analysis(args []string) error {
+	fs := flag.NewFlagSet("analysis", flag.ExitOnError)
+	mean := fs.Float64("mean", 1000, "source mean rate (bits/slot)")
+	eps := fs.Float64("eps", 1e-4, "slow transition probability per slot")
+	buffer := fs.Float64("buffer", 5000, "per-source buffer (bits)")
+	target := fs.Float64("loss", 1e-6, "per-subchain overflow target")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.Analysis(*mean, *eps, *buffer, *target, []int{10, 100, 1000})
+	if err != nil {
+		return err
+	}
+	fmt.Println("analysis: eqs. (9)-(11) on the Fig. 4 three-subchain source")
+	fmt.Printf("mean rate: %.1f bits/slot\n", res.MeanRate)
+	for i, e := range res.SubchainEB {
+		fmt.Printf("subchain %d equivalent bandwidth e_%d(B): %.1f\n", i, i, e)
+	}
+	fmt.Printf("whole-stream EB (eq. 9, max_i e_i): %.1f  (max subchain mean %.1f)\n",
+		res.WholeEB, res.MaxSubMean)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "c/mean\tN\tsharedLoss(eq10)\trcbrFailure(eq11)")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%.1f\t%d\t%.3e\t%.3e\n",
+			r.CPerOverMean, r.N, r.SharedLoss, r.RCBRFailure)
+	}
+	return w.Flush()
+}
+
+func section2(args []string) error {
+	fs := flag.NewFlagSet("section2", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	bucket := fs.Float64("bucket", 300e3, "small bucket/buffer size in bits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := buildTrace(*frames, *seed)
+	rows, err := experiments.Section2(tr,
+		[]float64{1.05, 1.2, 1.5, 2, 3, 4, 5}, *bucket)
+	if err != nil {
+		return err
+	}
+	fmt.Println("section2: the one-shot descriptor dilemma (token bucket (r, b))")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "r/mean\tb*(r) lossless (Mb)\tpolice@300kb loss\tshape@300kb delay(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.2f\t%.2f\t%.2e\t%.2f\n",
+			r.RateOverMean, r.MinDepthBits/1e6, r.PolicingLoss, r.ShapingDelaySec)
+	}
+	return w.Flush()
+}
+
+func datapath(args []string) error {
+	fs := flag.NewFlagSet("datapath", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	n := fs.Int("n", 8, "number of multiplexed sources")
+	util := fs.Float64("util", 0.8, "link utilization")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *frames <= 0 || *frames > 14400 {
+		*frames = 2400 // cell-level simulation; keep it short
+	}
+	tr := buildTrace(*frames, *seed)
+	res, err := experiments.DataPath(tr, *n, tr.MeanRate()*1.2, 384, *util, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("datapath: cell-level FIFO multiplexer, smoothed CBR vs raw VBR bursts")
+	fmt.Printf("sources: %d, link %.0f cells/s, utilization %.0f%%\n",
+		res.Sources, res.LinkCellRate, *util*100)
+	fmt.Printf("CBR (RCBR output): max queue %d cells, mean delay %.1f cell times\n",
+		res.CBRMaxQueue, res.CBRMeanDelay)
+	fmt.Printf("VBR frame bursts:  max queue %d cells, mean delay %.1f cell times\n",
+		res.BurstMaxQueue, res.BurstMeanDelay)
+	fmt.Printf("buffering ratio: %.0fx — the Section III small-buffer argument\n",
+		res.QueueRatio)
+	return nil
+}
+
+func latency(args []string) error {
+	fs := flag.NewFlagSet("latency", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	buffer := fs.Float64("buffer", 300e3, "source buffer B in bits")
+	delta := fs.Float64("delta", 64e3, "heuristic granularity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := buildTrace(*frames, *seed)
+	rows, err := experiments.Latency(tr, *buffer, *delta,
+		[]int{0, 2, 6, 12, 24, 48, 96})
+	if err != nil {
+		return err
+	}
+	fmt.Println("latency (extension): online heuristic vs signaling round-trip delay")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "delay(slots)\tdelay(ms)\tefficiency\tmaxOcc(kb)\tlost(bits)\tinterval(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.0f\t%.4f\t%.1f\t%.0f\t%.2f\n",
+			r.DelaySlots, r.DelayMs, r.Efficiency, r.MaxOccupancyBits/1e3,
+			r.LostBits, r.RenegIntervalSec)
+	}
+	return w.Flush()
+}
+
+func chernoff(args []string) error {
+	fs := flag.NewFlagSet("chernoff", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	alpha := fs.Float64("alpha", 1e6, "schedule renegotiation cost")
+	samples := fs.Int("samples", 20000, "Monte-Carlo samples per cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := buildTrace(*frames, *seed)
+	cfg6, err := experiments.DefaultFig6Config(tr, *alpha)
+	if err != nil {
+		return err
+	}
+	levels := experiments.FeasibleGridLevels(tr, 300e3, 64e3)
+	rows, err := experiments.ChernoffValidation(cfg6.Schedule, levels,
+		[]int{10, 50, 200}, []float64{1.1, 1.3, 1.6, 2.0}, *samples, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("chernoff: eq. (12) estimate vs Monte-Carlo overload probability")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "N\tc/mean\tchernoff\tsimulated")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.1f\t%.3e\t%.3e\n", r.N, r.CPerMean, r.Chernoff, r.Simulated)
+	}
+	return w.Flush()
+}
+
+func fitModel(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	classes := fs.Int("classes", 4, "number of slow time-scale classes")
+	buffer := fs.Float64("buffer", 300e3, "buffer for the eq. 9 comparison (bits)")
+	target := fs.Float64("loss", 1e-6, "loss target for the comparison")
+	in := fs.String("in", "", "fit an external trace file instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	if *in != "" {
+		var err error
+		if tr, err = trace.Load(*in); err != nil {
+			return err
+		}
+		if sum, err := tr.Summarize(); err == nil {
+			fmt.Printf("trace: %s\n", sum)
+		}
+	} else {
+		tr = buildTrace(*frames, *seed)
+	}
+	opt := fit.DefaultOptions(tr)
+	opt.Classes = *classes
+	model, err := fit.Fit(tr, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fit: %d classes, mean dwell %.1f slots (%.2f s), epsilon %.2e\n",
+		len(model.ClassMeans), model.MeanDwellSlots,
+		model.MeanDwellSlots*tr.SlotSeconds(), model.MTS.Epsilon)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "class\tshare\tmean(kb/s)")
+	for i := range model.ClassMeans {
+		fmt.Fprintf(w, "%d\t%.3f\t%.0f\n", i, model.ClassShare[i],
+			model.ClassMeans[i]*tr.FPS/1e3)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// The payoff: eq. (9) on the fitted model vs the measured requirement.
+	bw, err := ld.MTSEffectiveBandwidth(model.MTS, *buffer, *target)
+	if err != nil {
+		return err
+	}
+	measured := queue.MinRateForLoss(queue.Arrivals(tr), tr.SlotSeconds(), *buffer, *target)
+	fmt.Printf("eq. 9 whole-stream EB: %.0f kb/s; measured c(B=%.0f kb): %.0f kb/s (ratio %.2f)\n",
+		bw.Whole*tr.FPS/1e3, *buffer/1e3, measured/1e3, bw.Whole*tr.FPS/measured)
+	return nil
+}
+
+func rvbrCompare(args []string) error {
+	fs := flag.NewFlagSet("rvbr", flag.ExitOnError)
+	frames, seed := commonFlags(fs)
+	alpha := fs.Float64("alpha", 1e6, "schedule renegotiation cost")
+	buffer := fs.Float64("buffer", 300e3, "RCBR source buffer (bits)")
+	margin := fs.Float64("margin", 1.0, "RVBR token-rate margin (>= 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := buildTrace(*frames, *seed)
+	sch, err := experiments.OptimalSchedule(tr, *buffer, *alpha,
+		experiments.FeasibleLevels(tr, *buffer, 20))
+	if err != nil {
+		return err
+	}
+	cmp, rv, err := rvbr.Compare(tr, sch, *buffer, *margin)
+	if err != nil {
+		return err
+	}
+	fmt.Println("rvbr (Section VIII): renegotiated CBR vs renegotiated token bucket,")
+	fmt.Println("same traffic, same renegotiation points")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "service\tmean reserved (kb/s)\tnetwork burst exposure\tsource buffer")
+	fmt.Fprintf(w, "RCBR\t%.0f\tnone (CBR in network)\t%.0f kb\n",
+		cmp.RCBRMeanRate/1e3, cmp.RCBRSourceBuffer/1e3)
+	fmt.Fprintf(w, "RVBR\t%.0f\tmax %.0f kb / hop (mean %.0f kb)\tnone\n",
+		cmp.RVBRMeanRate/1e3, cmp.RVBRMaxNetworkBurst/1e3, cmp.RVBRMeanNetworkBurst/1e3)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("rate savings from the bucket: %.1f%%; segments: %d\n",
+		100*cmp.RateSavings, len(rv.Segments))
+	fmt.Println("the bucket buys little rate but re-commits every hop to buffering bursts —")
+	fmt.Println("the loss-of-protection cost RCBR's all-CBR data path avoids")
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

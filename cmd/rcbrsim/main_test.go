@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 30 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.4, 1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0.4 || got[1] != 1.2 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseFloats("a"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestBuildTrace(t *testing.T) {
+	tr := buildTrace(240, 1)
+	if tr.Len() != 240 {
+		t.Fatalf("len %d", tr.Len())
+	}
+}

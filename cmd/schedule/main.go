@@ -1,0 +1,118 @@
+// Command schedule computes RCBR renegotiation schedules for a trace: the
+// optimal offline schedule (Section IV-A) or the causal online heuristic
+// (Section IV-B).
+//
+// Usage:
+//
+//	schedule -mode offline [-in trace] [-alpha A] [-beta B] [-buffer BITS]
+//	         [-levels K] [-delay SLOTS] [-drained] [-dump]
+//	schedule -mode online  [-in trace] [-delta RATE] [-gopaware] [-dump]
+//
+// Without -in, a synthetic Star-Wars-class trace is generated (-frames,
+// -seed control it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rcbr/internal/core"
+	"rcbr/internal/experiments"
+	"rcbr/internal/heuristic"
+	"rcbr/internal/trace"
+	"rcbr/internal/trellis"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "offline", "offline (optimal) or online (AR1 heuristic)")
+		in      = flag.String("in", "", "trace file (empty: synthesize)")
+		frames  = flag.Int("frames", 28800, "synthetic trace frames")
+		seed    = flag.Uint64("seed", 1, "synthetic trace seed")
+		buffer  = flag.Float64("buffer", 300e3, "source buffer B (bits)")
+		alpha   = flag.Float64("alpha", 1e6, "offline: cost per renegotiation")
+		beta    = flag.Float64("beta", 1, "offline: cost per bit of allocation")
+		levels  = flag.Int("levels", 20, "offline: number of bandwidth levels")
+		delay   = flag.Int("delay", 0, "offline: delay bound in slots (0 = none)")
+		drained = flag.Bool("drained", false, "offline: require the buffer drained at the end")
+		delta   = flag.Float64("delta", 64e3, "online: bandwidth granularity (bits/s)")
+		gop     = flag.Bool("gopaware", false, "online: use the GOP-aware predictor")
+		dump    = flag.Bool("dump", false, "print every segment")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	if *in != "" {
+		tr, err = trace.Load(*in)
+	} else {
+		tr = experiments.StarWars(*seed, *frames)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	sum, err := tr.Summarize()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("trace:", sum)
+
+	var sch *core.Schedule
+	switch *mode {
+	case "offline":
+		opts := trellis.Options{
+			Levels:          experiments.FeasibleLevels(tr, *buffer, *levels),
+			BufferBits:      *buffer,
+			BufferGridBits:  *buffer / 2048,
+			DelayBoundSlots: *delay,
+			Cost:            core.CostModel{Alpha: *alpha, Beta: *beta},
+			RequireDrained:  *drained,
+			FinalSlackBits:  *buffer / 100,
+		}
+		var st trellis.Stats
+		sch, st, err = trellis.Optimize(tr, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("optimal cost: %.4g (nodes expanded %d, max frontier %d)\n",
+			st.Cost, st.NodesExpanded, st.MaxFrontier)
+	case "online":
+		p := heuristic.DefaultParams(*delta)
+		if *gop {
+			p.Predictor = &heuristic.GOP{Len: 12, Coeff: p.ARCoeff}
+		}
+		res, err := heuristic.Run(tr, *buffer, p, nil)
+		if err != nil {
+			fatal(err)
+		}
+		sch = res.Schedule
+		fmt.Printf("online run: attempts=%d failures=%d lost=%.0f bits maxOcc=%.0f bits\n",
+			res.Attempts, res.Failures, res.LostBits, res.MaxOccupancy)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	fmt.Printf("schedule: segments=%d renegotiations=%d interval=%.2fs\n",
+		len(sch.Segments), sch.Renegotiations(), sch.MeanRenegIntervalSec())
+	fmt.Printf("rates: mean=%.0f peak=%.0f b/s, bandwidth efficiency=%.4f\n",
+		sch.MeanRate(), sch.PeakRate(), sch.BandwidthEfficiency(tr))
+	res := sch.Run(tr, *buffer)
+	fmt.Printf("replay: lost=%.0f bits (%.2e of arrivals), max occupancy=%.0f bits\n",
+		res.LostBits, res.LossFraction(), res.MaxOccupancy)
+
+	if *dump {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "start(s)\trate(kb/s)")
+		for _, ev := range sch.Events() {
+			fmt.Fprintf(w, "%.2f\t%.0f\n", ev.TimeSec, ev.Rate/1e3)
+		}
+		w.Flush()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedule:", err)
+	os.Exit(1)
+}

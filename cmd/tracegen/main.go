@@ -1,0 +1,85 @@
+// Command tracegen generates and inspects synthetic multiple time-scale
+// MPEG traces (the repository's stand-in for the paper's Star Wars trace).
+//
+// Usage:
+//
+//	tracegen -out trace.rcbt [-frames N] [-seed S] [-mean RATE] [-text]
+//	tracegen -in trace.rcbt               # print a summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rcbr/internal/stats"
+	"rcbr/internal/trace"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "", "output file (empty: print summary only)")
+		in     = flag.String("in", "", "inspect an existing trace instead of generating")
+		frames = flag.Int("frames", 172800, "number of frames")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		mean   = flag.Float64("mean", 374e3, "target mean rate (bits/s)")
+		fps    = flag.Float64("fps", 24, "frame rate")
+		gop    = flag.String("gop", "IBBPBBPBBPBB", "GOP pattern")
+		text   = flag.Bool("text", false, "write the text format instead of binary")
+		peaks  = flag.Bool("peaks", false, "list sustained peaks >= 4x mean")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	if *in != "" {
+		var err error
+		tr, err = trace.Load(*in)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		pattern, err := trace.ParseGOP(*gop)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := trace.DefaultStarWarsConfig()
+		cfg.Frames = *frames
+		cfg.MeanRate = *mean
+		cfg.FPS = *fps
+		cfg.GOP = pattern
+		tr, err = trace.Synthesize(cfg, stats.NewRNG(*seed))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	sum, err := tr.Summarize()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(sum)
+
+	if *peaks {
+		window := int(tr.FPS)
+		if window < 1 {
+			window = 1
+		}
+		for _, p := range tr.SustainedPeaks(4*tr.MeanRate(), window) {
+			fmt.Printf("peak: start=%.1fs dur=%.1fs mean=%.0f b/s (%.2fx)\n",
+				float64(p.Start)/tr.FPS, p.Seconds(tr.FPS), p.MeanRate,
+				p.MeanRate/tr.MeanRate())
+		}
+	}
+
+	if *out != "" {
+		if err := tr.Save(*out, !*text); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Book-ahead video server: stored (offline) sources know their whole
+// renegotiation schedule at setup, so — per Section III-A.2 of the RCBR
+// paper — they can reserve their entire time-varying rate profile in
+// advance. An admitted booking can never suffer a renegotiation failure,
+// and the link packs complementary profiles (one movie's action scenes
+// against another's quiet ones) tighter than any flat-rate reservation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"rcbr/internal/bookahead"
+	"rcbr/internal/core"
+	"rcbr/internal/experiments"
+	"rcbr/internal/stats"
+	"rcbr/internal/trellis"
+)
+
+const (
+	bufferBits = 300e3
+	capacity   = 3.0e6 // a modest video-server uplink
+)
+
+func main() {
+	// A small library of five-minute movies, each with its own optimal
+	// RCBR schedule (different seeds: different scene structure).
+	var movies []*core.Schedule
+	var means []float64
+	for seed := uint64(1); seed <= 4; seed++ {
+		tr := experiments.StarWars(seed, 7200)
+		sch, _, err := trellis.Optimize(tr, trellis.Options{
+			Levels:         experiments.FeasibleLevels(tr, bufferBits, 16),
+			BufferBits:     bufferBits,
+			BufferGridBits: bufferBits / 2048,
+			Cost:           core.CostModel{Alpha: 1e6, Beta: 1},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		movies = append(movies, sch)
+		means = append(means, sch.MeanRate())
+	}
+
+	cal := bookahead.NewCalendar(capacity)
+	rng := stats.NewRNG(7)
+
+	fmt.Printf("link: %.1f Mb/s; movie mean rates %.0f..%.0f b/s, peaks up to %.0f b/s\n\n",
+		capacity/1e6, minOf(means), maxOf(means), peakOf(movies))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "request\tmovie\twanted(s)\tbooked(s)\tdecision")
+	booked := 0
+	for req := 0; req < 12; req++ {
+		m := rng.Intn(len(movies))
+		want := float64(rng.Intn(600))
+		sch := movies[m]
+		if start, ok := cal.EarliestFit(want, want+900, sch); ok {
+			if _, err := cal.Book(start, sch); err != nil {
+				log.Fatal(err) // EarliestFit promised admissibility
+			}
+			booked++
+			decision := "booked"
+			if start > want {
+				decision = fmt.Sprintf("deferred %.0fs", start-want)
+			}
+			fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\t%s\n", req, m, want, start, decision)
+		} else {
+			fmt.Fprintf(w, "%d\t%d\t%.0f\t-\trejected (no slot within 15 min)\n",
+				req, m, want)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	peak := cal.PeakCommitment(0, 1800)
+	fmt.Printf("\n%d bookings committed; peak commitment %.0f of %.0f b/s (%.0f%%)\n",
+		booked, peak, capacity, 100*peak/capacity)
+	fmt.Println("every admitted booking is guaranteed: zero renegotiation failures by construction")
+
+	// Contrast: flat peak-rate reservations would admit far fewer movies.
+	flatFit := int(capacity / peakOf(movies))
+	fmt.Printf("flat peak-rate admission would fit only %d simultaneous movie(s);\n", flatFit)
+	fmt.Printf("the calendar packed all %d requests by interleaving complementary profiles\n",
+		cal.Bookings())
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func peakOf(schs []*core.Schedule) float64 {
+	var m float64
+	for _, s := range schs {
+		if p := s.PeakRate(); p > m {
+			m = p
+		}
+	}
+	return m
+}

@@ -1,0 +1,3 @@
+module rcbr
+
+go 1.22

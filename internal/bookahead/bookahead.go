@@ -1,0 +1,185 @@
+// Package bookahead implements advance reservations for stored (offline)
+// RCBR sources, the option Section III-A.2 of the paper raises: "if all
+// systems in the network share a common time base, advance reservations
+// could be done for some or all of the data stream". A stored-video server
+// knows its entire renegotiation schedule at setup time, so it can book the
+// whole time-varying rate profile at once; the link admits the booking iff
+// at every instant the sum of committed rates stays within capacity. An
+// admitted booking can never suffer a renegotiation failure.
+package bookahead
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rcbr/internal/core"
+)
+
+// BookingID identifies one admitted booking.
+type BookingID int
+
+// ErrRejected is returned when a booking would exceed capacity at some
+// instant of its profile.
+var ErrRejected = errors.New("bookahead: booking exceeds capacity")
+
+// ErrUnknownBooking is returned by Cancel for an id that is not booked.
+var ErrUnknownBooking = errors.New("bookahead: unknown booking")
+
+// delta is one signed rate-change event on the calendar.
+type delta struct {
+	time float64
+	rate float64 // signed change in committed rate
+}
+
+// Calendar tracks the time-varying committed rate of one link and admits or
+// rejects whole rate profiles. It is not safe for concurrent use; wrap in a
+// mutex if shared (the switch controller owns one per port).
+type Calendar struct {
+	capacity float64
+	nextID   BookingID
+	bookings map[BookingID][]delta
+}
+
+// NewCalendar returns an empty calendar for a link of the given capacity in
+// bits/second. It panics if capacity is not positive.
+func NewCalendar(capacity float64) *Calendar {
+	if capacity <= 0 {
+		panic("bookahead: non-positive capacity")
+	}
+	return &Calendar{capacity: capacity, bookings: make(map[BookingID][]delta)}
+}
+
+// Capacity returns the link capacity.
+func (c *Calendar) Capacity() float64 { return c.capacity }
+
+// profile converts a schedule starting at absolute time start into signed
+// deltas, closing the booking at start+duration.
+func profile(start float64, sch *core.Schedule) []delta {
+	evs := sch.Events()
+	out := make([]delta, 0, len(evs)+1)
+	var prev float64
+	for _, e := range evs {
+		out = append(out, delta{time: start + e.TimeSec, rate: e.Rate - prev})
+		prev = e.Rate
+	}
+	out = append(out, delta{time: start + sch.DurationSec(), rate: -prev})
+	return out
+}
+
+// sweep returns the maximum committed rate over [from, to) given the union
+// of all booked deltas plus extra.
+func (c *Calendar) sweep(extra []delta, from, to float64) float64 {
+	var all []delta
+	for _, b := range c.bookings {
+		all = append(all, b...)
+	}
+	all = append(all, extra...)
+	sort.Slice(all, func(i, j int) bool { return all[i].time < all[j].time })
+	var rate, max float64
+	for i, d := range all {
+		rate += d.rate
+		// The rate after this event holds until the next event; it counts
+		// toward the window only if the interval [d.time, next) is
+		// non-empty and intersects [from, to). Coincident events (one
+		// booking stepping down exactly as another steps up) must all be
+		// applied before the level is sampled.
+		next := to
+		if i+1 < len(all) && all[i+1].time < next {
+			next = all[i+1].time
+		}
+		if next > d.time && d.time < to && next > from && rate > max {
+			max = rate
+		}
+	}
+	return max
+}
+
+// Admissible reports whether a schedule starting at start fits within
+// capacity at every instant, without booking it.
+func (c *Calendar) Admissible(start float64, sch *core.Schedule) bool {
+	if err := sch.Validate(); err != nil {
+		return false
+	}
+	p := profile(start, sch)
+	return c.sweep(p, start, start+sch.DurationSec()) <= c.capacity
+}
+
+// Book admits and commits a schedule starting at start. On success the
+// returned id can later be cancelled; on failure ErrRejected reports the
+// first overload instant.
+func (c *Calendar) Book(start float64, sch *core.Schedule) (BookingID, error) {
+	if err := sch.Validate(); err != nil {
+		return 0, fmt.Errorf("bookahead: %w", err)
+	}
+	if start < 0 {
+		return 0, fmt.Errorf("bookahead: negative start %g", start)
+	}
+	p := profile(start, sch)
+	if peak := c.sweep(p, start, start+sch.DurationSec()); peak > c.capacity {
+		return 0, fmt.Errorf("%w: peak commitment %g > %g", ErrRejected, peak, c.capacity)
+	}
+	c.nextID++
+	c.bookings[c.nextID] = p
+	return c.nextID, nil
+}
+
+// Cancel releases a booking.
+func (c *Calendar) Cancel(id BookingID) error {
+	if _, ok := c.bookings[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBooking, id)
+	}
+	delete(c.bookings, id)
+	return nil
+}
+
+// CommittedAt returns the total committed rate at time t.
+func (c *Calendar) CommittedAt(t float64) float64 {
+	var all []delta
+	for _, b := range c.bookings {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].time < all[j].time })
+	var rate float64
+	for _, d := range all {
+		if d.time > t {
+			break
+		}
+		rate += d.rate
+	}
+	return rate
+}
+
+// PeakCommitment returns the maximum committed rate over [from, to).
+func (c *Calendar) PeakCommitment(from, to float64) float64 {
+	return c.sweep(nil, from, to)
+}
+
+// Bookings returns the number of active bookings.
+func (c *Calendar) Bookings() int { return len(c.bookings) }
+
+// EarliestFit returns the earliest start time at or after from at which the
+// schedule becomes admissible, trying candidate starts at the calendar's
+// existing event times (rate commitments only change there, so if a start
+// is infeasible, the next potentially feasible start is an event boundary).
+// It returns ok=false if nothing fits before the horizon.
+func (c *Calendar) EarliestFit(from, horizon float64, sch *core.Schedule) (float64, bool) {
+	if c.Admissible(from, sch) {
+		return from, true
+	}
+	var times []float64
+	for _, b := range c.bookings {
+		for _, d := range b {
+			if d.time > from && d.time <= horizon {
+				times = append(times, d.time)
+			}
+		}
+	}
+	sort.Float64s(times)
+	for _, t := range times {
+		if c.Admissible(t, sch) {
+			return t, true
+		}
+	}
+	return 0, false
+}

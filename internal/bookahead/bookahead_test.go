@@ -1,0 +1,204 @@
+package bookahead
+
+import (
+	"errors"
+
+	"testing"
+	"testing/quick"
+
+	"rcbr/internal/core"
+	"rcbr/internal/stats"
+)
+
+// twoStep returns a schedule: rate r1 for half the horizon, r2 for the rest.
+func twoStep(r1, r2 float64, slots int) *core.Schedule {
+	return &core.Schedule{
+		Segments:    []core.Segment{{StartSlot: 0, Rate: r1}, {StartSlot: slots / 2, Rate: r2}},
+		Slots:       slots,
+		SlotSeconds: 1,
+	}
+}
+
+func TestBookAndQuery(t *testing.T) {
+	c := NewCalendar(1000)
+	sch := twoStep(300, 600, 10) // 300 for [0,5), 600 for [5,10)
+	id, err := c.Book(0, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bookings() != 1 {
+		t.Fatalf("bookings = %d", c.Bookings())
+	}
+	if r := c.CommittedAt(2); r != 300 {
+		t.Fatalf("committed at 2 = %v", r)
+	}
+	if r := c.CommittedAt(7); r != 600 {
+		t.Fatalf("committed at 7 = %v", r)
+	}
+	if r := c.CommittedAt(12); r != 0 {
+		t.Fatalf("committed after end = %v", r)
+	}
+	if p := c.PeakCommitment(0, 10); p != 600 {
+		t.Fatalf("peak = %v", p)
+	}
+	if err := c.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if c.CommittedAt(7) != 0 {
+		t.Fatal("cancel left commitment")
+	}
+	if err := c.Cancel(id); !errors.Is(err, ErrUnknownBooking) {
+		t.Fatalf("double cancel: %v", err)
+	}
+}
+
+func TestRejectOnInstantaneousOverlap(t *testing.T) {
+	c := NewCalendar(1000)
+	if _, err := c.Book(0, twoStep(300, 600, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// A second booking whose high phase overlaps the first's high phase.
+	if _, err := c.Book(0, twoStep(200, 500, 10)); !errors.Is(err, ErrRejected) {
+		t.Fatalf("overlapping peak admitted: %v", err)
+	}
+	// But a complementary profile (high where the other is low) fits:
+	// [0,5): 300+700=1000 <= 1000; [5,10): 600+400=1000 <= 1000.
+	if _, err := c.Book(0, twoStep(700, 400, 10)); err != nil {
+		t.Fatalf("complementary profile rejected: %v", err)
+	}
+}
+
+func TestTimeShiftedBookings(t *testing.T) {
+	c := NewCalendar(1000)
+	// Two bookings of a 600-rate phase that would clash if simultaneous
+	// fit when staggered so the high phases do not overlap.
+	if _, err := c.Book(0, twoStep(600, 100, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Book(0, twoStep(600, 100, 10)); !errors.Is(err, ErrRejected) {
+		t.Fatal("simultaneous clash admitted")
+	}
+	if _, err := c.Book(5, twoStep(600, 100, 10)); err != nil {
+		t.Fatalf("staggered booking rejected: %v", err)
+	}
+}
+
+func TestAdmissibleDoesNotCommit(t *testing.T) {
+	c := NewCalendar(500)
+	sch := twoStep(400, 100, 10)
+	if !c.Admissible(0, sch) {
+		t.Fatal("admissible profile refused")
+	}
+	if c.Bookings() != 0 {
+		t.Fatal("Admissible committed state")
+	}
+	if c.Admissible(0, &core.Schedule{}) {
+		t.Fatal("invalid schedule admissible")
+	}
+}
+
+func TestBookValidation(t *testing.T) {
+	c := NewCalendar(100)
+	if _, err := c.Book(-1, twoStep(10, 20, 4)); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if _, err := c.Book(0, &core.Schedule{}); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+func TestNewCalendarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewCalendar(0)
+}
+
+func TestEarliestFit(t *testing.T) {
+	c := NewCalendar(1000)
+	if _, err := c.Book(0, core.Constant(900, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sch := core.Constant(500, 6, 1)
+	// Nothing fits during [0,10); the first feasible start is t=10.
+	start, ok := c.EarliestFit(0, 100, sch)
+	if !ok || start != 10 {
+		t.Fatalf("EarliestFit = %v, %v; want 10, true", start, ok)
+	}
+	// Horizon too short: no fit.
+	if _, ok := c.EarliestFit(0, 5, sch); ok {
+		t.Fatal("fit reported before any capacity frees up")
+	}
+	// Immediate fit when the calendar is empty enough.
+	c2 := NewCalendar(1000)
+	if start, ok := c2.EarliestFit(3, 10, sch); !ok || start != 3 {
+		t.Fatalf("empty calendar fit = %v, %v", start, ok)
+	}
+}
+
+func TestBookedNeverOverCapacity(t *testing.T) {
+	// Property: whatever mix of bookings is admitted, the committed rate
+	// never exceeds capacity at any sampled instant.
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		c := NewCalendar(1000)
+		horizon := 60.0
+		for k := 0; k < 12; k++ {
+			slots := 4 + r.Intn(12)
+			sch := twoStep(float64(100+r.Intn(6)*100), float64(100+r.Intn(6)*100), slots)
+			start := r.Float64() * 40
+			_, _ = c.Book(start, sch) // rejections are fine
+		}
+		for s := 0.0; s < horizon; s += 0.5 {
+			if c.CommittedAt(s) > c.Capacity()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBookingNeverFailsRenegotiation(t *testing.T) {
+	// The point of booking ahead: once admitted, every rate change of the
+	// schedule is guaranteed. Verify by sweeping the committed profile of
+	// many admitted bookings and checking each booking's own profile is
+	// fully contained.
+	r := stats.NewRNG(5)
+	c := NewCalendar(2000)
+	type booked struct {
+		start float64
+		sch   *core.Schedule
+	}
+	var admitted []booked
+	for k := 0; k < 30; k++ {
+		sch := twoStep(float64(100+r.Intn(8)*100), float64(100+r.Intn(8)*100), 8+r.Intn(8))
+		start := r.Float64() * 50
+		if _, err := c.Book(start, sch); err == nil {
+			admitted = append(admitted, booked{start, sch})
+		}
+	}
+	if len(admitted) < 2 {
+		t.Fatalf("only %d bookings admitted", len(admitted))
+	}
+	// At every event boundary, total committed (which includes each
+	// booking's own rate) is within capacity; therefore each booking gets
+	// its full profile.
+	for s := 0.0; s < 80; s += 0.25 {
+		if got := c.CommittedAt(s); got > c.Capacity()+1e-9 {
+			t.Fatalf("over-commitment %v at t=%v", got, s)
+		}
+	}
+	// And each booking's own rate at a sampled time is part of the total.
+	for _, b := range admitted {
+		mid := b.start + b.sch.DurationSec()/2
+		own := b.sch.RateAt(int(b.sch.DurationSec()/2) - 1)
+		if own > c.CommittedAt(mid)+1e-9 {
+			t.Fatalf("booking rate %v missing from committed %v", own, c.CommittedAt(mid))
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package callsim runs the call-level admission-control experiments of
+// Section VI of the RCBR paper: calls arrive as a Poisson process, each call
+// is a randomly shifted copy of an RCBR renegotiation schedule, an admission
+// controller decides entry, and the link grants or denies each renegotiation
+// against its capacity. The simulator is event-driven over renegotiation
+// events only — never individual frames — which is the efficiency trick of
+// the paper's footnote 4.
+//
+// Measurements follow the paper: each interval of one schedule duration is a
+// batch yielding one sample of the renegotiation failure probability and the
+// link utilization; batches accumulate until the 95% confidence half-width
+// is within a set fraction of the estimate, or until the failure upper bound
+// is confidently below the QoS target.
+package callsim
+
+import (
+	"fmt"
+	"sort"
+
+	"rcbr/internal/admission"
+	"rcbr/internal/core"
+	"rcbr/internal/sim"
+	"rcbr/internal/stats"
+)
+
+// Config parameterizes one experiment.
+type Config struct {
+	// Schedule is the per-call RCBR schedule template; every call is a
+	// random cyclic shift of it.
+	Schedule *core.Schedule
+	// Schedules optionally supplies a heterogeneous call mix: each arrival
+	// picks one template uniformly at random (real links carry different
+	// movies, not shifted copies of one). When set, Schedule may be nil;
+	// the measurement batch length is the longest template's duration.
+	Schedules []*core.Schedule
+	// Capacity is the link capacity in bits/second.
+	Capacity float64
+	// ArrivalRate is the Poisson call arrival rate in calls/second.
+	ArrivalRate float64
+	// Controller is the admission scheme under test.
+	Controller admission.Controller
+	// TargetFailure is the QoS target used for early stopping (a batch run
+	// may stop once the failure estimate is confidently below it).
+	TargetFailure float64
+	// WarmupBatches is the number of initial batches discarded (default 1).
+	WarmupBatches int
+	// MinBatches and MaxBatches bound the measurement batches.
+	MinBatches, MaxBatches int
+	// CIFrac is the stopping rule's relative confidence half-width
+	// (paper: 0.2).
+	CIFrac float64
+	// JumpRate models user interactivity (Section VI: "fast forward,
+	// pause, etc."): each call seeks to a uniformly random position of its
+	// schedule at this Poisson rate (jumps/second), immediately
+	// renegotiating to the rate at the new position. Zero disables it. The
+	// stationary per-call rate marginal is unchanged, but the a priori
+	// trajectory descriptor no longer matches the call's behaviour.
+	JumpRate float64
+	// Seed drives arrivals, phasings and jumps.
+	Seed uint64
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Schedule == nil && len(c.Schedules) == 0:
+		return fmt.Errorf("callsim: missing schedule")
+	case c.Capacity <= 0:
+		return fmt.Errorf("callsim: capacity must be positive")
+	case c.ArrivalRate <= 0:
+		return fmt.Errorf("callsim: arrival rate must be positive")
+	case c.Controller == nil:
+		return fmt.Errorf("callsim: missing controller")
+	case c.MinBatches <= 0 || c.MaxBatches < c.MinBatches:
+		return fmt.Errorf("callsim: bad batch bounds %d..%d", c.MinBatches, c.MaxBatches)
+	case c.CIFrac <= 0:
+		return fmt.Errorf("callsim: CIFrac must be positive")
+	case c.TargetFailure < 0 || c.TargetFailure >= 1:
+		return fmt.Errorf("callsim: target failure %g outside [0,1)", c.TargetFailure)
+	case c.JumpRate < 0:
+		return fmt.Errorf("callsim: negative jump rate")
+	}
+	for i, s := range c.templates() {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("callsim: schedule %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// templates returns the call-template set.
+func (c *Config) templates() []*core.Schedule {
+	if len(c.Schedules) > 0 {
+		return c.Schedules
+	}
+	return []*core.Schedule{c.Schedule}
+}
+
+// batchDurationSec returns the measurement batch length: the longest
+// template's duration.
+func (c *Config) batchDurationSec() float64 {
+	var max float64
+	for _, s := range c.templates() {
+		if d := s.DurationSec(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Result reports one experiment.
+type Result struct {
+	// FailureProb is the mean per-batch renegotiation failure probability
+	// (failed requests / requests), with its 95% CI half-width.
+	FailureProb, FailureCI float64
+	// Utilization is the mean fraction of link capacity reserved.
+	Utilization, UtilizationCI float64
+	// BlockingProb is the fraction of arrivals not admitted.
+	BlockingProb float64
+	// Batches is the number of measurement batches used.
+	Batches int
+	// Attempts and Failures count renegotiation requests over all
+	// measurement batches; UpAttempts counts rate increases only.
+	Attempts, Failures, UpAttempts int64
+	// Arrivals and Blocked count calls over the measurement period.
+	Arrivals, Blocked int64
+	// ConfidentBelowTarget reports that sampling stopped because the
+	// failure probability's CI upper bound fell below TargetFailure.
+	ConfidentBelowTarget bool
+	// MeanCalls is the time-average number of calls in the system.
+	MeanCalls float64
+}
+
+// call is one active call's state.
+type call struct {
+	id     int
+	rate   float64      // currently reserved rate
+	events []core.Event // remaining renegotiation events (relative times)
+	next   int
+	gen    int            // bumped on an interactivity jump; stale events check it
+	tmpl   *core.Schedule // the call's schedule template
+}
+
+// runner holds the mutable simulation state.
+type runner struct {
+	cfg    Config
+	eng    sim.Engine
+	rng    *stats.RNG
+	nextID int
+	calls  map[int]*call
+	R      float64 // total reserved rate
+
+	// integrators
+	lastT    float64
+	rateInt  float64 // integral of R dt
+	callsInt float64 // integral of #calls dt
+	attempts int64
+	failures int64
+	upAtt    int64
+	arrivals int64
+	blocked  int64
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.WarmupBatches == 0 {
+		cfg.WarmupBatches = 1
+	}
+	r := &runner{
+		cfg:   cfg,
+		rng:   stats.NewRNG(cfg.Seed),
+		calls: make(map[int]*call),
+	}
+	r.scheduleArrival()
+
+	batchDur := cfg.batchDurationSec()
+	var res Result
+	var failAcc, utilAcc, callsAcc stats.Accumulator
+
+	totalBatches := cfg.WarmupBatches + cfg.MaxBatches
+	for b := 0; b < totalBatches; b++ {
+		// Snapshot counters, run one batch, and diff.
+		a0, f0, u0 := r.attempts, r.failures, r.upAtt
+		arr0, bl0 := r.arrivals, r.blocked
+		ri0, ci0 := r.rateInt, r.callsInt
+
+		horizon := float64(b+1) * batchDur
+		r.eng.RunUntil(horizon)
+		r.flushIntegrals(horizon)
+
+		if b < cfg.WarmupBatches {
+			continue
+		}
+		att := r.attempts - a0
+		fail := r.failures - f0
+		var failSample float64
+		if att > 0 {
+			failSample = float64(fail) / float64(att)
+		}
+		failAcc.Add(failSample)
+		utilAcc.Add((r.rateInt - ri0) / (cfg.Capacity * batchDur))
+		callsAcc.Add((r.callsInt - ci0) / batchDur)
+		res.Attempts += att
+		res.Failures += fail
+		res.UpAttempts += r.upAtt - u0
+		res.Arrivals += r.arrivals - arr0
+		res.Blocked += r.blocked - bl0
+		res.Batches++
+
+		if res.Batches >= cfg.MinBatches {
+			utilDone := utilAcc.Converged(cfg.CIFrac, cfg.MinBatches)
+			failDone := failAcc.Converged(cfg.CIFrac, cfg.MinBatches)
+			below := cfg.TargetFailure > 0 &&
+				failAcc.UpperBelow(cfg.TargetFailure, cfg.MinBatches)
+			if below {
+				res.ConfidentBelowTarget = true
+			}
+			if utilDone && (failDone || below) {
+				break
+			}
+		}
+	}
+
+	res.FailureProb = failAcc.Mean()
+	res.FailureCI = failAcc.CI95HalfWidth()
+	res.Utilization = utilAcc.Mean()
+	res.UtilizationCI = utilAcc.CI95HalfWidth()
+	res.MeanCalls = callsAcc.Mean()
+	if res.Arrivals > 0 {
+		res.BlockingProb = float64(res.Blocked) / float64(res.Arrivals)
+	}
+	return res, nil
+}
+
+// flushIntegrals accumulates the rate and call-count integrals up to t.
+func (r *runner) flushIntegrals(t float64) {
+	dt := t - r.lastT
+	if dt > 0 {
+		r.rateInt += r.R * dt
+		r.callsInt += float64(len(r.calls)) * dt
+		r.lastT = t
+	}
+}
+
+func (r *runner) scheduleArrival() {
+	r.eng.After(r.rng.ExpFloat64(r.cfg.ArrivalRate), func() {
+		r.arrive()
+		r.scheduleArrival()
+	})
+}
+
+// pickTemplate draws a call's schedule template uniformly.
+func (r *runner) pickTemplate() *core.Schedule {
+	ts := r.cfg.templates()
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	return ts[r.rng.Intn(len(ts))]
+}
+
+// shiftedEvents rotates a template's event list by a uniform random phase,
+// yielding the call's renegotiation events relative to its arrival. The
+// event at relative time 0 is the call's initial rate request.
+func (r *runner) shiftedEvents(sch *core.Schedule) []core.Event {
+	dur := sch.DurationSec()
+	shiftSlot := r.rng.Intn(sch.Slots)
+	shiftSec := float64(shiftSlot) * sch.SlotSeconds
+	base := sch.Events()
+	out := make([]core.Event, 0, len(base)+1)
+	out = append(out, core.Event{TimeSec: 0, Rate: sch.RateAt(shiftSlot)})
+	for _, e := range base {
+		t := e.TimeSec - shiftSec
+		if t <= 0 {
+			t += dur
+		}
+		if t >= dur {
+			continue
+		}
+		out = append(out, core.Event{TimeSec: t, Rate: e.Rate})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeSec < out[j].TimeSec })
+	// Drop consecutive equal rates created by the wrap.
+	dedup := out[:1]
+	for _, e := range out[1:] {
+		if e.Rate != dedup[len(dedup)-1].Rate {
+			dedup = append(dedup, e)
+		}
+	}
+	return dedup
+}
+
+func (r *runner) arrive() {
+	now := r.eng.Now()
+	r.arrivals++
+	tmpl := r.pickTemplate()
+	events := r.shiftedEvents(tmpl)
+	initRate := events[0].Rate
+	// Admission: the controller's statistical test plus the hard capacity
+	// check on the initial rate.
+	if !r.cfg.Controller.Admit(now, initRate) || r.R+initRate > r.cfg.Capacity {
+		r.blocked++
+		return
+	}
+	r.flushIntegrals(now)
+	id := r.nextID
+	r.nextID++
+	c := &call{id: id, rate: initRate, events: events, next: 1, tmpl: tmpl}
+	r.calls[id] = c
+	r.R += initRate
+	r.cfg.Controller.OnAdmit(id, now, initRate)
+	r.scheduleNext(c, now)
+	r.eng.At(now+tmpl.DurationSec(), func() { r.depart(id) })
+	if r.cfg.JumpRate > 0 {
+		r.scheduleJump(c)
+	}
+}
+
+func (r *runner) scheduleNext(c *call, base float64) {
+	if c.next >= len(c.events) {
+		return
+	}
+	e := c.events[c.next]
+	c.next++
+	gen := c.gen
+	r.eng.At(base+e.TimeSec, func() {
+		if c.gen != gen {
+			return // superseded by an interactivity jump
+		}
+		r.renegotiate(c, e.Rate)
+		r.scheduleNext(c, base)
+	})
+}
+
+// scheduleJump arms the call's next interactivity event: the user seeks to
+// a random position, the call renegotiates to that position's rate and
+// follows the schedule from there.
+func (r *runner) scheduleJump(c *call) {
+	r.eng.After(r.rng.ExpFloat64(r.cfg.JumpRate), func() {
+		if _, alive := r.calls[c.id]; !alive {
+			return
+		}
+		now := r.eng.Now()
+		c.gen++
+		c.events = r.shiftedEvents(c.tmpl)
+		c.next = 1
+		r.renegotiate(c, c.events[0].Rate)
+		r.scheduleNext(c, now)
+		r.scheduleJump(c)
+	})
+}
+
+// renegotiate applies one schedule event: decreases always succeed;
+// increases succeed if capacity allows, otherwise the call settles for
+// whatever bandwidth remains (Section III-A.1) and the request counts as a
+// failure.
+func (r *runner) renegotiate(c *call, requested float64) {
+	if _, alive := r.calls[c.id]; !alive {
+		return
+	}
+	now := r.eng.Now()
+	r.attempts++
+	granted := requested
+	if requested > c.rate {
+		r.upAtt++
+		avail := r.cfg.Capacity - r.R
+		if requested-c.rate > avail {
+			r.failures++
+			granted = c.rate + avail
+		}
+	}
+	if granted == c.rate {
+		return
+	}
+	r.flushIntegrals(now)
+	r.R += granted - c.rate
+	r.cfg.Controller.OnRateChange(c.id, now, c.rate, granted)
+	c.rate = granted
+}
+
+func (r *runner) depart(id int) {
+	c, ok := r.calls[id]
+	if !ok {
+		return
+	}
+	now := r.eng.Now()
+	r.flushIntegrals(now)
+	r.R -= c.rate
+	if r.R < 0 {
+		r.R = 0
+	}
+	delete(r.calls, id)
+	r.cfg.Controller.OnDepart(id, now, c.rate)
+}
+
+// OfferedLoad converts a normalized offered load (offered bandwidth over
+// link capacity, the x-axis of Figs. 7 and 8) into the Poisson arrival rate
+// for calls with the given mean rate and duration.
+func OfferedLoad(normalized, capacity, callMeanRate, callDurSec float64) float64 {
+	if normalized <= 0 || capacity <= 0 || callMeanRate <= 0 || callDurSec <= 0 {
+		panic("callsim: OfferedLoad arguments must be positive")
+	}
+	return normalized * capacity / (callMeanRate * callDurSec)
+}

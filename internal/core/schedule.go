@@ -1,0 +1,261 @@
+// Package core implements the RCBR service abstraction — the paper's primary
+// contribution. A source sees a fixed-size buffer drained at a constant rate
+// it may renegotiate; the renegotiation schedule is a piecewise-constant
+// service rate function. This package provides the Schedule type with the
+// paper's cost model (Section IV), bandwidth-efficiency and renegotiation
+// statistics, feasibility checking against a trace and buffer, and the
+// Source type modelling the per-source buffer at the network entry.
+//
+// Schedule computation lives in sibling packages: internal/trellis for the
+// optimal offline algorithm (Section IV-A) and internal/heuristic for the
+// causal online heuristic (Section IV-B).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rcbr/internal/queue"
+	"rcbr/internal/stats"
+	"rcbr/internal/trace"
+)
+
+// Segment is one constant-rate piece of a renegotiation schedule, starting
+// at StartSlot and lasting until the next segment (or the schedule end).
+type Segment struct {
+	StartSlot int
+	Rate      float64 // bits/second
+}
+
+// Schedule is a piecewise-constant service rate over a slotted horizon: the
+// output of a renegotiation algorithm and the input to the network. The
+// number of renegotiations is the number of segment boundaries.
+type Schedule struct {
+	Segments    []Segment
+	Slots       int     // total horizon in slots
+	SlotSeconds float64 // slot duration
+}
+
+// Validate reports the first structural problem, or nil.
+func (s *Schedule) Validate() error {
+	if s.SlotSeconds <= 0 {
+		return fmt.Errorf("core: schedule slot duration %g not positive", s.SlotSeconds)
+	}
+	if s.Slots <= 0 {
+		return fmt.Errorf("core: schedule has %d slots", s.Slots)
+	}
+	if len(s.Segments) == 0 {
+		return fmt.Errorf("core: schedule has no segments")
+	}
+	if s.Segments[0].StartSlot != 0 {
+		return fmt.Errorf("core: first segment starts at slot %d, want 0", s.Segments[0].StartSlot)
+	}
+	for i, seg := range s.Segments {
+		if seg.Rate < 0 || math.IsNaN(seg.Rate) {
+			return fmt.Errorf("core: segment %d rate %g is negative", i, seg.Rate)
+		}
+		if i > 0 {
+			if seg.StartSlot <= s.Segments[i-1].StartSlot {
+				return fmt.Errorf("core: segment %d start %d not after previous %d",
+					i, seg.StartSlot, s.Segments[i-1].StartSlot)
+			}
+			if seg.Rate == s.Segments[i-1].Rate {
+				return fmt.Errorf("core: segment %d repeats rate %g (not a renegotiation)",
+					i, seg.Rate)
+			}
+		}
+		if seg.StartSlot >= s.Slots {
+			return fmt.Errorf("core: segment %d starts at %d beyond horizon %d",
+				i, seg.StartSlot, s.Slots)
+		}
+	}
+	return nil
+}
+
+// FromRates compresses a per-slot rate vector into a schedule, merging
+// equal-rate runs. It panics on an empty vector or non-positive slotSec.
+func FromRates(rates []float64, slotSec float64) *Schedule {
+	if len(rates) == 0 || slotSec <= 0 {
+		panic("core: FromRates invalid arguments")
+	}
+	s := &Schedule{Slots: len(rates), SlotSeconds: slotSec}
+	for i, r := range rates {
+		if i == 0 || r != rates[i-1] {
+			s.Segments = append(s.Segments, Segment{StartSlot: i, Rate: r})
+		}
+	}
+	return s
+}
+
+// Constant returns a single-segment (static CBR) schedule.
+func Constant(rate float64, slots int, slotSec float64) *Schedule {
+	return &Schedule{
+		Segments:    []Segment{{StartSlot: 0, Rate: rate}},
+		Slots:       slots,
+		SlotSeconds: slotSec,
+	}
+}
+
+// RateAt returns the service rate in force during the given slot.
+func (s *Schedule) RateAt(slot int) float64 {
+	if slot < 0 || slot >= s.Slots {
+		panic(fmt.Sprintf("core: RateAt slot %d outside [0,%d)", slot, s.Slots))
+	}
+	// Binary search for the last segment with StartSlot <= slot.
+	lo, hi := 0, len(s.Segments)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.Segments[mid].StartSlot <= slot {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return s.Segments[lo].Rate
+}
+
+// Rates expands the schedule to a per-slot rate vector.
+func (s *Schedule) Rates() []float64 {
+	out := make([]float64, s.Slots)
+	for i, seg := range s.Segments {
+		end := s.Slots
+		if i+1 < len(s.Segments) {
+			end = s.Segments[i+1].StartSlot
+		}
+		for t := seg.StartSlot; t < end; t++ {
+			out[t] = seg.Rate
+		}
+	}
+	return out
+}
+
+// segmentSlots returns the duration of segment i in slots.
+func (s *Schedule) segmentSlots(i int) int {
+	end := s.Slots
+	if i+1 < len(s.Segments) {
+		end = s.Segments[i+1].StartSlot
+	}
+	return end - s.Segments[i].StartSlot
+}
+
+// Renegotiations returns the number of rate changes after the initial setup.
+func (s *Schedule) Renegotiations() int { return len(s.Segments) - 1 }
+
+// MeanRenegIntervalSec returns the mean time between renegotiations in
+// seconds: horizon divided by the number of segments. For a schedule with no
+// renegotiations it returns the full horizon.
+func (s *Schedule) MeanRenegIntervalSec() float64 {
+	return float64(s.Slots) * s.SlotSeconds / float64(len(s.Segments))
+}
+
+// MeanRate returns the time-average service rate in bits/second.
+func (s *Schedule) MeanRate() float64 {
+	var sum float64
+	for i, seg := range s.Segments {
+		sum += seg.Rate * float64(s.segmentSlots(i))
+	}
+	return sum / float64(s.Slots)
+}
+
+// PeakRate returns the largest segment rate.
+func (s *Schedule) PeakRate() float64 {
+	var max float64
+	for _, seg := range s.Segments {
+		if seg.Rate > max {
+			max = seg.Rate
+		}
+	}
+	return max
+}
+
+// TotalBits returns the total service capacity of the schedule in bits.
+func (s *Schedule) TotalBits() float64 {
+	return s.MeanRate() * float64(s.Slots) * s.SlotSeconds
+}
+
+// BandwidthEfficiency returns the paper's efficiency metric: the source's
+// long-term average rate divided by the schedule's time-average service
+// rate. An efficiency of 1 means no over-allocation.
+func (s *Schedule) BandwidthEfficiency(tr *trace.Trace) float64 {
+	m := s.MeanRate()
+	if m == 0 {
+		return 0
+	}
+	return tr.MeanRate() / m
+}
+
+// CostModel is the pricing model of Section IV-A: a constant cost per
+// renegotiation (Alpha) plus a cost per allocated bandwidth and time unit
+// (Beta, per bit). Raising Alpha/Beta buys fewer renegotiations at the price
+// of lower bandwidth efficiency.
+type CostModel struct {
+	Alpha float64 // cost per renegotiation
+	Beta  float64 // cost per bit of allocated capacity (rate x time)
+}
+
+// Cost evaluates eq. (1): alpha times the number of renegotiations plus beta
+// times the allocated rate-time product.
+func (c CostModel) Cost(s *Schedule) float64 {
+	return c.Alpha*float64(s.Renegotiations()) + c.Beta*s.TotalBits()
+}
+
+// Run drains the trace through the schedule with a buffer of B bits and
+// returns the queueing result (loss, max occupancy, max delay).
+func (s *Schedule) Run(tr *trace.Trace, B float64) queue.Result {
+	if tr.Len() != s.Slots {
+		panic(fmt.Sprintf("core: schedule over %d slots run against %d-frame trace",
+			s.Slots, tr.Len()))
+	}
+	return queue.RunSchedule(queue.Arrivals(tr), s.SlotSeconds, s.Rates(), B)
+}
+
+// Feasible reports whether the schedule serves the trace without loss from a
+// buffer of B bits.
+func (s *Schedule) Feasible(tr *trace.Trace, B float64) bool {
+	return s.Run(tr, B).LostBits == 0
+}
+
+// Descriptor returns the schedule's empirical bandwidth distribution over
+// the given levels: the fraction of time each level is reserved. This is the
+// traffic descriptor of Section VI, weighted by segment duration.
+func (s *Schedule) Descriptor(levels []float64) *stats.LevelHist {
+	h := stats.NewLevelHist(levels)
+	for i, seg := range s.Segments {
+		h.Add(seg.Rate, float64(s.segmentSlots(i))*s.SlotSeconds)
+	}
+	return h
+}
+
+// CyclicShift rotates the schedule left by n slots with wraparound, the
+// "randomly shifted versions" used as independent calls in the paper's
+// multiplexing and admission experiments. Adjacent equal rates created by
+// the wrap are merged.
+func (s *Schedule) CyclicShift(n int) *Schedule {
+	rates := s.Rates()
+	ln := len(rates)
+	n = ((n % ln) + ln) % ln
+	out := make([]float64, ln)
+	copy(out, rates[n:])
+	copy(out[ln-n:], rates[:n])
+	return FromRates(out, s.SlotSeconds)
+}
+
+// Events returns the renegotiation events of the schedule as (time-seconds,
+// new-rate) pairs, including the initial setup at time 0. Call-level
+// simulators iterate events rather than slots (paper footnote 4).
+type Event struct {
+	TimeSec float64
+	Rate    float64 // bits/second
+}
+
+// Events returns the schedule's setup and renegotiation events in order.
+func (s *Schedule) Events() []Event {
+	out := make([]Event, len(s.Segments))
+	for i, seg := range s.Segments {
+		out[i] = Event{TimeSec: float64(seg.StartSlot) * s.SlotSeconds, Rate: seg.Rate}
+	}
+	return out
+}
+
+// DurationSec returns the schedule horizon in seconds.
+func (s *Schedule) DurationSec() float64 { return float64(s.Slots) * s.SlotSeconds }

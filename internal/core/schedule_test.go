@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rcbr/internal/stats"
+	"rcbr/internal/trace"
+)
+
+func sched(t *testing.T) *Schedule {
+	t.Helper()
+	s := &Schedule{
+		Segments:    []Segment{{0, 100}, {10, 200}, {30, 50}},
+		Slots:       40,
+		SlotSeconds: 0.5,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	sched(t)
+	bad := []*Schedule{
+		{Slots: 10, SlotSeconds: 1},                                       // no segments
+		{Segments: []Segment{{1, 1}}, Slots: 10, SlotSeconds: 1},          // not at 0
+		{Segments: []Segment{{0, 1}, {0, 2}}, Slots: 10, SlotSeconds: 1},  // dup start
+		{Segments: []Segment{{0, 1}, {5, 1}}, Slots: 10, SlotSeconds: 1},  // same rate
+		{Segments: []Segment{{0, -1}}, Slots: 10, SlotSeconds: 1},         // negative
+		{Segments: []Segment{{0, 1}, {20, 2}}, Slots: 10, SlotSeconds: 1}, // beyond horizon
+		{Segments: []Segment{{0, 1}}, Slots: 0, SlotSeconds: 1},           // no slots
+		{Segments: []Segment{{0, 1}}, Slots: 10, SlotSeconds: 0},          // no slot time
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	s := sched(t)
+	cases := []struct {
+		slot int
+		want float64
+	}{{0, 100}, {9, 100}, {10, 200}, {29, 200}, {30, 50}, {39, 50}}
+	for _, c := range cases {
+		if got := s.RateAt(c.slot); got != c.want {
+			t.Errorf("RateAt(%d) = %v, want %v", c.slot, got, c.want)
+		}
+	}
+}
+
+func TestRateAtPanics(t *testing.T) {
+	s := sched(t)
+	for _, slot := range []int{-1, 40} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RateAt(%d) did not panic", slot)
+				}
+			}()
+			s.RateAt(slot)
+		}()
+	}
+}
+
+func TestRatesRoundTrip(t *testing.T) {
+	s := sched(t)
+	r := s.Rates()
+	if len(r) != 40 {
+		t.Fatalf("len = %d", len(r))
+	}
+	back := FromRates(r, s.SlotSeconds)
+	if len(back.Segments) != 3 {
+		t.Fatalf("round trip segments = %d", len(back.Segments))
+	}
+	for i := range back.Segments {
+		if back.Segments[i] != s.Segments[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, back.Segments[i], s.Segments[i])
+		}
+	}
+}
+
+func TestFromRatesProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		r := stats.NewRNG(seed)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = float64(r.Intn(4)) * 100 // few levels, many runs
+		}
+		s := FromRates(rates, 1)
+		if s.Validate() != nil {
+			return false
+		}
+		got := s.Rates()
+		for i := range rates {
+			if got[i] != rates[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleStats(t *testing.T) {
+	s := sched(t)
+	if n := s.Renegotiations(); n != 2 {
+		t.Fatalf("Renegotiations = %d", n)
+	}
+	// Horizon 20 s over 3 segments.
+	if iv := s.MeanRenegIntervalSec(); math.Abs(iv-20.0/3) > 1e-12 {
+		t.Fatalf("MeanRenegIntervalSec = %v", iv)
+	}
+	// Mean rate = (100*10 + 200*20 + 50*10)/40 = 137.5
+	if m := s.MeanRate(); m != 137.5 {
+		t.Fatalf("MeanRate = %v", m)
+	}
+	if p := s.PeakRate(); p != 200 {
+		t.Fatalf("PeakRate = %v", p)
+	}
+	if tb := s.TotalBits(); math.Abs(tb-137.5*20) > 1e-9 {
+		t.Fatalf("TotalBits = %v", tb)
+	}
+	if d := s.DurationSec(); d != 20 {
+		t.Fatalf("DurationSec = %v", d)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	s := sched(t)
+	cm := CostModel{Alpha: 10, Beta: 2}
+	want := 10*2 + 2*s.TotalBits()
+	if got := cm.Cost(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+	// Zero alpha prices only bandwidth.
+	if got := (CostModel{Beta: 1}).Cost(s); math.Abs(got-s.TotalBits()) > 1e-9 {
+		t.Fatalf("beta-only cost = %v", got)
+	}
+}
+
+func TestConstantSchedule(t *testing.T) {
+	s := Constant(500, 100, 0.1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Renegotiations() != 0 || s.MeanRate() != 500 {
+		t.Fatalf("constant schedule: %+v", s)
+	}
+}
+
+func TestBandwidthEfficiency(t *testing.T) {
+	tr := trace.New([]int64{100, 100, 100, 100}, 1) // 100 b/s mean
+	s := Constant(125, 4, 1)
+	if e := s.BandwidthEfficiency(tr); math.Abs(e-0.8) > 1e-12 {
+		t.Fatalf("efficiency = %v, want 0.8", e)
+	}
+	if e := Constant(0, 4, 1).BandwidthEfficiency(tr); e != 0 {
+		t.Fatalf("zero-rate efficiency = %v", e)
+	}
+}
+
+func TestRunAndFeasible(t *testing.T) {
+	tr := trace.New([]int64{100, 100, 300, 100}, 1)
+	exact := Constant(150, 4, 1)
+	res := exact.Run(tr, 1000)
+	if res.LostBits != 0 {
+		t.Fatalf("lost %v with big buffer", res.LostBits)
+	}
+	if !exact.Feasible(tr, 1000) {
+		t.Fatal("feasible schedule reported infeasible")
+	}
+	// Tiny buffer: slot 2 brings q to 300-150=150 > 50.
+	if exact.Feasible(tr, 50) {
+		t.Fatal("infeasible schedule reported feasible")
+	}
+}
+
+func TestRunPanicsOnLengthMismatch(t *testing.T) {
+	tr := trace.New([]int64{1, 2}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	Constant(1, 3, 1).Run(tr, 10)
+}
+
+func TestDescriptor(t *testing.T) {
+	s := sched(t)
+	h := s.Descriptor(stats.UniformLevels(50, 200, 4)) // 50, 100, 150, 200
+	p := h.Probabilities()
+	// 100 for 10 slots (5s), 200 for 20 slots (10s), 50 for 10 slots (5s).
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.25) > 1e-12 || math.Abs(p[3]-0.5) > 1e-12 {
+		t.Fatalf("descriptor = %v", p)
+	}
+	if math.Abs(h.Total()-20) > 1e-12 {
+		t.Fatalf("descriptor total = %v, want 20s", h.Total())
+	}
+}
+
+func TestCyclicShift(t *testing.T) {
+	s := sched(t)
+	shifted := s.CyclicShift(10)
+	if err := shifted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if shifted.Slots != s.Slots {
+		t.Fatalf("Slots = %d", shifted.Slots)
+	}
+	if got := shifted.RateAt(0); got != 200 {
+		t.Fatalf("shifted RateAt(0) = %v, want 200", got)
+	}
+	// Mean rate is shift invariant.
+	if math.Abs(shifted.MeanRate()-s.MeanRate()) > 1e-9 {
+		t.Fatalf("mean changed: %v vs %v", shifted.MeanRate(), s.MeanRate())
+	}
+	// Wrap that splices the first segment back on the end merges runs.
+	if err := s.CyclicShift(5).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CyclicShift(-3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclicShiftMeanInvariant(t *testing.T) {
+	f := func(seed uint64, shift int16) bool {
+		r := stats.NewRNG(seed)
+		rates := make([]float64, 50)
+		for i := range rates {
+			rates[i] = float64(r.Intn(5)) * 10
+		}
+		s := FromRates(rates, 1)
+		sh := s.CyclicShift(int(shift))
+		return math.Abs(sh.MeanRate()-s.MeanRate()) < 1e-9 && sh.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	s := sched(t)
+	ev := s.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].TimeSec != 0 || ev[0].Rate != 100 {
+		t.Fatalf("ev[0] = %+v", ev[0])
+	}
+	if ev[1].TimeSec != 5 || ev[1].Rate != 200 {
+		t.Fatalf("ev[1] = %+v", ev[1])
+	}
+	if ev[2].TimeSec != 15 || ev[2].Rate != 50 {
+		t.Fatalf("ev[2] = %+v", ev[2])
+	}
+}

@@ -1,0 +1,108 @@
+package ld
+
+import (
+	"fmt"
+	"math"
+
+	"rcbr/internal/markov"
+)
+
+// MTSBandwidth holds the per-subchain equivalent bandwidths of a multiple
+// time-scale source and the resulting whole-stream bandwidth of eq. (9).
+type MTSBandwidth struct {
+	// Sub holds e_i(B): the equivalent bandwidth of each fast subchain in
+	// isolation at the given buffer and loss target.
+	Sub []float64
+	// Whole is max_i Sub[i], the equivalent bandwidth of the entire stream
+	// in the joint regime of rare slow transitions and fast-absorbing
+	// buffers (eq. 9).
+	Whole float64
+	// MaxSubMean is max_i m_i, the largest subchain mean; eq. (9) implies
+	// Whole >= MaxSubMean, which bounds the gain available from buffering
+	// alone.
+	MaxSubMean float64
+}
+
+// MTSEffectiveBandwidth computes eq. (9): the equivalent bandwidth of a
+// multiple time-scale stream is the maximum of the equivalent bandwidths of
+// its fast subchains considered in isolation.
+func MTSEffectiveBandwidth(m *markov.MTS, B, target float64) (MTSBandwidth, error) {
+	if err := m.Validate(); err != nil {
+		return MTSBandwidth{}, err
+	}
+	delta, err := DeltaFor(B, target)
+	if err != nil {
+		return MTSBandwidth{}, err
+	}
+	out := MTSBandwidth{Sub: make([]float64, len(m.Subchains))}
+	out.Whole = math.Inf(-1)
+	for i, sc := range m.Subchains {
+		eb, err := EffectiveBandwidth(sc.Chain, delta)
+		if err != nil {
+			return MTSBandwidth{}, fmt.Errorf("ld: subchain %d: %w", i, err)
+		}
+		out.Sub[i] = eb
+		if eb > out.Whole {
+			out.Whole = eb
+		}
+		mi, err := sc.Chain.MeanRate()
+		if err != nil {
+			return MTSBandwidth{}, fmt.Errorf("ld: subchain %d: %w", i, err)
+		}
+		if mi > out.MaxSubMean {
+			out.MaxSubMean = mi
+		}
+	}
+	return out, nil
+}
+
+// SlowMarginal returns the slow time-scale marginal of the source: the
+// random variable taking value m_i (subchain mean) with probability p_i
+// (subchain weight). This is the distribution entering the shared-buffer
+// estimate of eq. (10).
+func SlowMarginal(m *markov.MTS) (Dist, error) {
+	if err := m.Validate(); err != nil {
+		return Dist{}, err
+	}
+	means, err := m.SubchainMeans()
+	if err != nil {
+		return Dist{}, err
+	}
+	return Dist{P: m.Weights(), X: means}, nil
+}
+
+// EBMarginal returns the distribution taking value e_i(B) (subchain
+// equivalent bandwidth) with probability p_i: the bandwidth demand of an
+// ideal RCBR source that renegotiates to the entered subchain's equivalent
+// bandwidth. This is the distribution entering eq. (11).
+func EBMarginal(m *markov.MTS, B, target float64) (Dist, error) {
+	bw, err := MTSEffectiveBandwidth(m, B, target)
+	if err != nil {
+		return Dist{}, err
+	}
+	return Dist{P: m.Weights(), X: bw.Sub}, nil
+}
+
+// SharedBufferLoss evaluates eq. (10): the Chernoff estimate of the loss
+// probability when n independent copies of the source share a link of
+// capacity n*cPer and a large shared buffer — only the slow marginal
+// matters.
+func SharedBufferLoss(m *markov.MTS, cPer float64, n int) (float64, error) {
+	d, err := SlowMarginal(m)
+	if err != nil {
+		return 0, err
+	}
+	return d.ChernoffTail(cPer, n), nil
+}
+
+// RCBRFailure evaluates eq. (11): the Chernoff estimate of the renegotiation
+// failure probability when n ideal RCBR sources (each renegotiating to the
+// equivalent bandwidth of its current subchain, for per-source buffer B and
+// per-subchain overflow target) share a bufferless link of capacity n*cPer.
+func RCBRFailure(m *markov.MTS, B, target, cPer float64, n int) (float64, error) {
+	d, err := EBMarginal(m, B, target)
+	if err != nil {
+		return 0, err
+	}
+	return d.ChernoffTail(cPer, n), nil
+}

@@ -1,0 +1,159 @@
+package ld
+
+import (
+	"math"
+	"testing"
+
+	"rcbr/internal/markov"
+)
+
+func TestMTSEffectiveBandwidthEq9(t *testing.T) {
+	m := markov.PaperExample(1000, 1e-4)
+	bw, err := MTSEffectiveBandwidth(m, 5000, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bw.Sub) != 3 {
+		t.Fatalf("Sub len = %d", len(bw.Sub))
+	}
+	// eq. 9: whole-stream EB is the max over subchains.
+	max := math.Inf(-1)
+	for _, e := range bw.Sub {
+		if e > max {
+			max = e
+		}
+	}
+	if bw.Whole != max {
+		t.Fatalf("Whole = %v, max sub = %v", bw.Whole, max)
+	}
+	// The EB exceeds the largest subchain mean: buffering alone cannot
+	// beat the worst-case subchain (the paper's key negative result).
+	if bw.Whole <= bw.MaxSubMean {
+		t.Fatalf("Whole %v must exceed MaxSubMean %v", bw.Whole, bw.MaxSubMean)
+	}
+	mean, _ := m.MeanRate()
+	if bw.Whole <= mean {
+		t.Fatalf("Whole %v must exceed overall mean %v", bw.Whole, mean)
+	}
+}
+
+func TestSlowMarginal(t *testing.T) {
+	m := markov.PaperExample(1000, 1e-4)
+	d, err := SlowMarginal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := m.MeanRate()
+	if math.Abs(d.Mean()-mean)/mean > 1e-9 {
+		t.Fatalf("slow marginal mean %v != MTS mean %v", d.Mean(), mean)
+	}
+}
+
+func TestEBMarginalDominatesSlowMarginal(t *testing.T) {
+	m := markov.PaperExample(1000, 1e-4)
+	slow, err := SlowMarginal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := EBMarginal(m, 5000, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slow.X {
+		if eb.X[i] < slow.X[i] {
+			t.Fatalf("subchain %d: e_i %v < m_i %v", i, eb.X[i], slow.X[i])
+		}
+	}
+}
+
+func TestRCBRFailureAtLeastSharedLoss(t *testing.T) {
+	// Paper, Section V-A: "this renegotiation failure probability is larger
+	// since the equivalent bandwidth of every subchain is greater than its
+	// mean rate".
+	m := markov.PaperExample(1000, 1e-4)
+	mean, _ := m.MeanRate()
+	for _, cPer := range []float64{1.2 * mean, 1.5 * mean, 2 * mean} {
+		for _, n := range []int{10, 100} {
+			shared, err := SharedBufferLoss(m, cPer, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rcbr, err := RCBRFailure(m, 5000, 1e-6, cPer, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rcbr < shared*(1-1e-9) {
+				t.Fatalf("cPer=%v n=%d: RCBR failure %v < shared loss %v",
+					cPer, n, rcbr, shared)
+			}
+		}
+	}
+}
+
+func TestRCBRGapShrinksWithBuffer(t *testing.T) {
+	// With larger per-source buffers the subchain EBs approach the subchain
+	// means and the RCBR estimate approaches the shared-buffer estimate.
+	m := markov.PaperExample(1000, 1e-4)
+	mean, _ := m.MeanRate()
+	cPer := 1.5 * mean
+	n := 50
+	shared, err := SharedBufferLoss(m, cPer, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallB, err := RCBRFailure(m, 500, 1e-6, cPer, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigB, err := RCBRFailure(m, 50000, 1e-6, cPer, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bigB <= smallB) {
+		t.Fatalf("failure must not grow with buffer: B small %v, big %v", smallB, bigB)
+	}
+	if math.Abs(math.Log(bigB)-math.Log(shared)) > math.Abs(math.Log(smallB)-math.Log(shared)) {
+		t.Fatalf("gap to shared did not shrink: shared %v small %v big %v",
+			shared, smallB, bigB)
+	}
+}
+
+func TestSharedBufferLossMultiplexingGain(t *testing.T) {
+	m := markov.PaperExample(1000, 1e-4)
+	mean, _ := m.MeanRate()
+	cPer := 1.3 * mean
+	p10, err := SharedBufferLoss(m, cPer, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p200, err := SharedBufferLoss(m, cPer, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p200 >= p10 {
+		t.Fatalf("loss must fall with n at fixed per-source capacity: %v vs %v", p10, p200)
+	}
+}
+
+func TestMTSFunctionsRejectInvalid(t *testing.T) {
+	bad := &markov.MTS{Epsilon: 2}
+	if _, err := MTSEffectiveBandwidth(bad, 100, 1e-6); err == nil {
+		t.Error("MTSEffectiveBandwidth accepted invalid MTS")
+	}
+	if _, err := SlowMarginal(bad); err == nil {
+		t.Error("SlowMarginal accepted invalid MTS")
+	}
+	if _, err := SharedBufferLoss(bad, 1, 1); err == nil {
+		t.Error("SharedBufferLoss accepted invalid MTS")
+	}
+	if _, err := RCBRFailure(bad, 100, 1e-6, 1, 1); err == nil {
+		t.Error("RCBRFailure accepted invalid MTS")
+	}
+	good := markov.PaperExample(100, 1e-3)
+	if _, err := MTSEffectiveBandwidth(good, -1, 1e-6); err == nil {
+		t.Error("negative buffer accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package mux
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rcbr/internal/stats"
+	"rcbr/internal/trace"
+)
+
+func TestSingleCBRFlowNoQueue(t *testing.T) {
+	// One flow at half the link rate: the queue never exceeds one cell.
+	res := RunCBR([]Flow{{CellsPerSec: 500}}, 1000, 100, 1.0)
+	if res.MaxQueueCells > 1 {
+		t.Fatalf("max queue = %d", res.MaxQueueCells)
+	}
+	if res.LostCells != 0 {
+		t.Fatalf("lost = %d", res.LostCells)
+	}
+	if res.ArrivedCells < 490 || res.ArrivedCells > 510 {
+		t.Fatalf("arrived = %d, want ~500", res.ArrivedCells)
+	}
+}
+
+func TestCBRAggregateSmallQueue(t *testing.T) {
+	// The paper's claim: N CBR flows at 90% utilization need only a few
+	// cells of buffering per source.
+	const n = 20
+	flows := make([]Flow, n)
+	for i := range flows {
+		flows[i] = Flow{CellsPerSec: 0.9 * 1000 / n, Phase: float64(i) / n}
+	}
+	res := RunCBR(flows, 1000, 1000, 5.0)
+	if res.MaxQueueCells > n {
+		t.Fatalf("CBR aggregate queue %d exceeds N=%d cells", res.MaxQueueCells, n)
+	}
+	if res.LostCells != 0 {
+		t.Fatal("CBR aggregate lost cells with a generous buffer")
+	}
+}
+
+func TestFrameBurstsNeedBigBuffers(t *testing.T) {
+	// The same long-run load delivered as VBR frame bursts queues orders
+	// of magnitude deeper than the smoothed CBR equivalent.
+	tr := trace.SyntheticStarWarsFrames(71, 240) // 10 s
+	const payload = 384                          // ATM cell payload bits
+	const n = 4
+	r := stats.NewRNG(3)
+	shifts := make([]int, n)
+	rates := make([]float64, n)
+	for i := range shifts {
+		shifts[i] = r.Intn(tr.Len())
+		rates[i] = tr.MeanRate() * 1.2 // smoothed per-source rate
+	}
+	// Link sized for ~75% utilization of the aggregate mean.
+	linkCellRate := float64(n) * tr.MeanRate() * 1.6 / payload
+
+	vbr := RunFrameBursts(tr, shifts, linkCellRate, 1<<20, payload)
+	cbr := RunCBR(CBRFlowsForRates(rates, payload), linkCellRate, 1<<20,
+		tr.Duration())
+	if vbr.LostCells != 0 || cbr.LostCells != 0 {
+		t.Fatalf("losses with huge buffers: vbr %d cbr %d", vbr.LostCells, cbr.LostCells)
+	}
+	if vbr.MaxQueueCells < 10*cbr.MaxQueueCells {
+		t.Fatalf("VBR queue %d not >> CBR queue %d", vbr.MaxQueueCells, cbr.MaxQueueCells)
+	}
+	if vbr.MeanDelayCells() < 5*cbr.MeanDelayCells() {
+		t.Fatalf("VBR delay %.1f not >> CBR delay %.1f",
+			vbr.MeanDelayCells(), cbr.MeanDelayCells())
+	}
+}
+
+func TestSmallBufferDropsVBRNotCBR(t *testing.T) {
+	tr := trace.SyntheticStarWarsFrames(72, 240)
+	const payload = 384
+	const n = 4
+	shifts := []int{0, 60, 120, 180}
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = tr.MeanRate() * 1.2
+	}
+	linkCellRate := float64(n) * tr.MeanRate() * 1.6 / payload
+	const smallBuffer = 64 // cells
+
+	vbr := RunFrameBursts(tr, shifts, linkCellRate, smallBuffer, payload)
+	cbr := RunCBR(CBRFlowsForRates(rates, payload), linkCellRate, smallBuffer,
+		tr.Duration())
+	if cbr.LostCells != 0 {
+		t.Fatalf("CBR lost %d cells with a %d-cell buffer", cbr.LostCells, smallBuffer)
+	}
+	if vbr.LostCells == 0 {
+		t.Fatal("VBR bursts survived a small buffer")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 1 + r.Intn(6)
+		flows := make([]Flow, n)
+		for i := range flows {
+			flows[i] = Flow{CellsPerSec: r.Float64() * 900 / float64(n), Phase: r.Float64()}
+		}
+		res := RunCBR(flows, 1000, 4, 1.0)
+		// arrived = served + lost + final queue (queue <= buffer).
+		final := res.ArrivedCells - res.ServedCells - res.LostCells
+		return final >= 0 && final <= 4 &&
+			res.MaxQueueCells <= 4 && res.ServedCells <= res.Ticks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad link":     func() { RunCBR(nil, 0, 1, 1) },
+		"neg buffer":   func() { RunCBR(nil, 1, -1, 1) },
+		"flow > link":  func() { RunCBR([]Flow{{CellsPerSec: 2000}}, 1000, 1, 1) },
+		"bursts link":  func() { RunFrameBursts(trace.New([]int64{1}, 24), []int{0}, 0, 1, 1) },
+		"bursts cells": func() { RunFrameBursts(trace.New([]int64{1}, 24), []int{0}, 1000, 1, 0) },
+		"slow link":    func() { RunFrameBursts(trace.New([]int64{1}, 24), []int{0}, 10, 1, 384) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyTraceBursts(t *testing.T) {
+	res := RunFrameBursts(trace.New(nil, 24), nil, 1000, 10, 384)
+	if res.Ticks != 0 || res.ArrivedCells != 0 {
+		t.Fatalf("empty trace result %+v", res)
+	}
+}
+
+func TestCBRFlowsForRates(t *testing.T) {
+	flows := CBRFlowsForRates([]float64{384000, 768000}, 384)
+	if flows[0].CellsPerSec != 1000 || flows[1].CellsPerSec != 2000 {
+		t.Fatalf("flows %+v", flows)
+	}
+	if flows[0].Phase == flows[1].Phase {
+		t.Fatal("phases not staggered")
+	}
+}

@@ -1,0 +1,202 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rcbr/internal/cell"
+)
+
+// Client signals an RCBR switch daemon over UDP. It is safe for concurrent
+// use; requests are serialized on the single socket.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+	retries int
+	nextID  uint32
+	nextSeq uint32
+	buf     []byte
+}
+
+// ErrTimeout is returned when a request exhausts its retries.
+var ErrTimeout = errors.New("netproto: request timed out")
+
+// ErrRemote wraps an error string reported by the switch.
+var ErrRemote = errors.New("netproto: remote error")
+
+// Dial connects to a switch daemon. timeout is the per-attempt reply
+// deadline (default 500ms); retries is the number of additional attempts
+// (default 3).
+func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	if retries < 0 {
+		retries = 3
+	}
+	return &Client{
+		conn:    conn,
+		timeout: timeout,
+		retries: retries,
+		buf:     make([]byte, maxFrame),
+	}, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends the datagram and waits for a frame echoing reqID,
+// retransmitting on timeout. resend generates the datagram for each attempt
+// (attempt 0 is the original), letting callers switch to an idempotent
+// encoding for retries.
+func (c *Client) roundTrip(reqID uint32, resend func(attempt int) ([]byte, error)) (Frame, error) {
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		pkt, err := resend(attempt)
+		if err != nil {
+			return Frame{}, err
+		}
+		if _, err := c.conn.Write(pkt); err != nil {
+			return Frame{}, err
+		}
+		deadline := time.Now().Add(c.timeout)
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return Frame{}, err
+			}
+			n, err := c.conn.Read(c.buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // next attempt
+				}
+				return Frame{}, err
+			}
+			f, err := ParseFrame(c.buf[:n])
+			if err != nil {
+				continue // garbage; keep waiting
+			}
+			if f.ReqID != reqID {
+				continue // stale reply from an earlier attempt
+			}
+			// Copy the payload out of the shared buffer.
+			payload := make([]byte, len(f.Payload))
+			copy(payload, f.Payload)
+			f.Payload = payload
+			return f, nil
+		}
+	}
+	return Frame{}, ErrTimeout
+}
+
+func (c *Client) newID() uint32 {
+	c.nextID++
+	return c.nextID
+}
+
+// Setup establishes a VC on the switch.
+func (c *Client) Setup(vci uint16, port int, rate float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.newID()
+	pkt := EncodeSetup(id, SetupReq{VCI: vci, Port: uint16(port), Rate: rate})
+	f, err := c.roundTrip(id, func(int) ([]byte, error) { return pkt, nil })
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case TypeSetupOK:
+		return nil
+	case TypeErr:
+		return fmt.Errorf("%w: %s", ErrRemote, f.Payload)
+	default:
+		return fmt.Errorf("%w: unexpected reply type %d", ErrFrame, f.Type)
+	}
+}
+
+// Teardown releases a VC.
+func (c *Client) Teardown(vci uint16) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.newID()
+	pkt := EncodeTeardown(id, vci)
+	f, err := c.roundTrip(id, func(int) ([]byte, error) { return pkt, nil })
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case TypeTeardownOK:
+		return nil
+	case TypeErr:
+		return fmt.Errorf("%w: %s", ErrRemote, f.Payload)
+	default:
+		return fmt.Errorf("%w: unexpected reply type %d", ErrFrame, f.Type)
+	}
+}
+
+// Renegotiate requests a rate change from current to target bits/second on
+// the VC, using a delta RM cell on the first attempt and idempotent resync
+// cells on retries (a lost delta must not be applied twice). It returns the
+// rate now in force and whether the request was granted in full.
+func (c *Client) Renegotiate(vci uint16, current, target float64) (granted float64, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.newID()
+	h := cell.Header{VCI: vci}
+	f, err := c.roundTrip(id, func(attempt int) ([]byte, error) {
+		c.nextSeq++
+		if attempt == 0 {
+			delta := target - current
+			m := cell.RM{Seq: c.nextSeq}
+			if delta < 0 {
+				m.Decrease = true
+				m.ER = -delta
+			} else {
+				m.ER = delta
+			}
+			return EncodeRM(id, h, m)
+		}
+		return EncodeRM(id, h, cell.RM{Resync: true, ER: target, Seq: c.nextSeq})
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return c.parseRMReply(f)
+}
+
+// Resync asserts the VC's absolute rate (periodic drift repair).
+func (c *Client) Resync(vci uint16, rate float64) (granted float64, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.newID()
+	h := cell.Header{VCI: vci}
+	f, err := c.roundTrip(id, func(int) ([]byte, error) {
+		c.nextSeq++
+		return EncodeRM(id, h, cell.RM{Resync: true, ER: rate, Seq: c.nextSeq})
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return c.parseRMReply(f)
+}
+
+func (c *Client) parseRMReply(f Frame) (float64, bool, error) {
+	switch f.Type {
+	case TypeRMReply:
+		_, m, err := DecodeRM(f.Payload)
+		if err != nil {
+			return 0, false, err
+		}
+		return m.ER, !m.Deny, nil
+	case TypeErr:
+		return 0, false, fmt.Errorf("%w: %s", ErrRemote, f.Payload)
+	default:
+		return 0, false, fmt.Errorf("%w: unexpected reply type %d", ErrFrame, f.Type)
+	}
+}

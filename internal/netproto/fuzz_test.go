@@ -1,0 +1,54 @@
+package netproto
+
+import (
+	"testing"
+
+	"rcbr/internal/switchfab"
+)
+
+// FuzzServerHandle feeds arbitrary datagrams to the server's dispatcher: it
+// must never panic and must never reply with anything but a well-formed
+// frame.
+func FuzzServerHandle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSetup(1, SetupReq{VCI: 1, Port: 1, Rate: 1e5}))
+	f.Add(EncodeTeardown(2, 1))
+	f.Add(EncodeErr(3, "x"))
+	f.Add([]byte{Magic, Version, 99, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sw := switchfab.New(nil)
+		if err := sw.AddPort(1, 1e6); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Setup(1, 1, 1e5); err != nil {
+			t.Fatal(err)
+		}
+		s := &Server{sw: sw}
+		reply := s.handle(data)
+		if reply == nil {
+			return
+		}
+		if _, err := ParseFrame(reply); err != nil {
+			t.Fatalf("server produced malformed reply %x: %v", reply, err)
+		}
+		if len(reply) > maxFrame {
+			t.Fatalf("reply length %d exceeds frame cap", len(reply))
+		}
+	})
+}
+
+// FuzzParseFrame must never panic and accepted frames must carry a payload
+// view inside the input.
+func FuzzParseFrame(f *testing.F) {
+	f.Add([]byte{Magic, Version, TypeSetup, 0, 0, 0, 1, 9, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		if len(fr.Payload) > len(data) {
+			t.Fatal("payload longer than input")
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package netproto
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rcbr/internal/switchfab"
+)
+
+// lossyProxy forwards UDP datagrams between a client and a server, dropping
+// requests according to drop(i) for the i-th client datagram. Replies are
+// never dropped (dropping the request is equivalent for the client's retry
+// logic and keeps the bookkeeping simple).
+type lossyProxy struct {
+	front net.PacketConn // clients talk to this
+	back  *net.UDPConn   // towards the real server
+
+	mu     sync.Mutex
+	nReq   int
+	drop   func(i int) bool
+	client net.Addr
+	closed bool
+}
+
+func newLossyProxy(t *testing.T, serverAddr string, drop func(i int) bool) *lossyProxy {
+	t.Helper()
+	front, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raddr, err := net.ResolveUDPAddr("udp", serverAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &lossyProxy{front: front, back: back, drop: drop}
+	go p.clientLoop()
+	go p.serverLoop()
+	t.Cleanup(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		front.Close()
+		back.Close()
+	})
+	return p
+}
+
+func (p *lossyProxy) Addr() string { return p.front.LocalAddr().String() }
+
+func (p *lossyProxy) clientLoop() {
+	buf := make([]byte, 2048)
+	for {
+		n, from, err := p.front.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.client = from
+		i := p.nReq
+		p.nReq++
+		dropIt := p.drop(i)
+		p.mu.Unlock()
+		if dropIt {
+			continue
+		}
+		if _, err := p.back.Write(buf[:n]); err != nil {
+			return
+		}
+	}
+}
+
+func (p *lossyProxy) serverLoop() {
+	buf := make([]byte, 2048)
+	for {
+		n, err := p.back.Read(buf)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		to := p.client
+		p.mu.Unlock()
+		if to == nil {
+			continue
+		}
+		if _, err := p.front.WriteTo(buf[:n], to); err != nil {
+			return
+		}
+	}
+}
+
+func TestRetriesSurvivePacketLoss(t *testing.T) {
+	sw := switchfab.New(nil)
+	if err := sw.AddPort(1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve() //nolint:errcheck
+
+	// Drop every other request datagram: every operation's first attempt
+	// may vanish, forcing the retry path.
+	proxy := newLossyProxy(t, srv.Addr().String(), func(i int) bool { return i%2 == 0 })
+	cl, err := Dial(proxy.Addr(), 100*time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Setup(3, 1, 128e3); err != nil {
+		t.Fatalf("setup through lossy path: %v", err)
+	}
+	granted, ok, err := cl.Renegotiate(3, 128e3, 256e3)
+	if err != nil || !ok {
+		t.Fatalf("renegotiate through lossy path: %v %v %v", granted, ok, err)
+	}
+	// The retry path sends resync cells with the absolute target, so the
+	// switch state must land on the target despite the lost delta.
+	if r, _ := sw.VCRate(3); math.Abs(r-256e3)/256e3 > 1.0/256 {
+		t.Fatalf("switch rate = %v after lossy renegotiation", r)
+	}
+	if err := cl.Teardown(3); err != nil {
+		t.Fatalf("teardown through lossy path: %v", err)
+	}
+	if sw.VCCount() != 0 {
+		t.Fatal("VC not torn down")
+	}
+}
+
+func TestDeltaNotAppliedTwiceUnderLoss(t *testing.T) {
+	// The dangerous case: the request is delivered but the *reply* is
+	// lost from the client's view (simulated by dropping the retry-side
+	// duplicate); the client retries with an idempotent resync so the
+	// delta cannot be double-applied. Here we drop nothing on the wire but
+	// force a timeout on the first attempt by dropping exactly the first
+	// datagram after the setup exchange completes.
+	sw := switchfab.New(nil)
+	if err := sw.AddPort(1, 10e6); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve() //nolint:errcheck
+
+	var mu sync.Mutex
+	dropNext := false
+	proxy := newLossyProxy(t, srv.Addr().String(), func(int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if dropNext {
+			dropNext = false
+			return true
+		}
+		return false
+	})
+	cl, err := Dial(proxy.Addr(), 100*time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Setup(9, 1, 100e3); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	dropNext = true // the delta cell will be lost
+	mu.Unlock()
+	granted, ok, err := cl.Renegotiate(9, 100e3, 300e3)
+	if err != nil || !ok {
+		t.Fatalf("renegotiate: %v %v %v", granted, ok, err)
+	}
+	// If the retry had re-sent the delta, the switch would sit at 500e3.
+	if r, _ := sw.VCRate(9); math.Abs(r-300e3)/300e3 > 1.0/256 {
+		t.Fatalf("switch rate = %v, delta applied twice?", r)
+	}
+}

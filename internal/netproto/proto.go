@@ -1,0 +1,172 @@
+// Package netproto carries RCBR signaling over UDP: call setup and teardown
+// on the heavyweight path, and 53-byte RM cells (package cell) on the
+// lightweight renegotiation path, addressed to a switch daemon (package
+// switchfab). The framing is a single datagram per message:
+//
+//	byte  0    magic 0xC5
+//	byte  1    version 1
+//	byte  2    message type
+//	bytes 3-6  request id (echoed in replies), big-endian
+//	bytes 7-   type-specific payload
+//
+// Renegotiation retransmission safety: a delta RM cell is not idempotent, so
+// on timeout the client falls back to a resync cell carrying the absolute
+// target rate, which is safe to repeat (footnote 2's drift repair doubles as
+// the retry mechanism).
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"rcbr/internal/cell"
+)
+
+// Wire constants.
+const (
+	Magic   = 0xC5
+	Version = 1
+
+	headerLen = 7
+	maxFrame  = 512
+)
+
+// Message types.
+const (
+	TypeSetup uint8 = iota + 1
+	TypeSetupOK
+	TypeErr
+	TypeTeardown
+	TypeTeardownOK
+	TypeRM
+	TypeRMReply
+)
+
+// Errors returned by the codec.
+var (
+	ErrFrame   = errors.New("netproto: malformed frame")
+	ErrVersion = errors.New("netproto: unsupported version")
+)
+
+// Frame is a decoded signaling datagram.
+type Frame struct {
+	Type    uint8
+	ReqID   uint32
+	Payload []byte
+}
+
+// appendHeader writes the common frame header.
+func appendHeader(b []byte, typ uint8, reqID uint32) []byte {
+	b = append(b, Magic, Version, typ)
+	var id [4]byte
+	binary.BigEndian.PutUint32(id[:], reqID)
+	return append(b, id[:]...)
+}
+
+// ParseFrame decodes a datagram's framing.
+func ParseFrame(b []byte) (Frame, error) {
+	if len(b) < headerLen {
+		return Frame{}, ErrFrame
+	}
+	if b[0] != Magic {
+		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrFrame, b[0])
+	}
+	if b[1] != Version {
+		return Frame{}, fmt.Errorf("%w: %d", ErrVersion, b[1])
+	}
+	return Frame{
+		Type:    b[2],
+		ReqID:   binary.BigEndian.Uint32(b[3:7]),
+		Payload: b[headerLen:],
+	}, nil
+}
+
+// SetupReq is the payload of TypeSetup.
+type SetupReq struct {
+	VCI  uint16
+	Port uint16
+	Rate float64 // bits/second
+}
+
+// EncodeSetup builds a setup request datagram.
+func EncodeSetup(reqID uint32, req SetupReq) []byte {
+	b := appendHeader(make([]byte, 0, headerLen+12), TypeSetup, reqID)
+	var p [12]byte
+	binary.BigEndian.PutUint16(p[0:2], req.VCI)
+	binary.BigEndian.PutUint16(p[2:4], req.Port)
+	binary.BigEndian.PutUint64(p[4:12], math.Float64bits(req.Rate))
+	return append(b, p[:]...)
+}
+
+// DecodeSetup parses a setup payload.
+func DecodeSetup(p []byte) (SetupReq, error) {
+	if len(p) < 12 {
+		return SetupReq{}, ErrFrame
+	}
+	return SetupReq{
+		VCI:  binary.BigEndian.Uint16(p[0:2]),
+		Port: binary.BigEndian.Uint16(p[2:4]),
+		Rate: math.Float64frombits(binary.BigEndian.Uint64(p[4:12])),
+	}, nil
+}
+
+// EncodeTeardown builds a teardown request for a VCI.
+func EncodeTeardown(reqID uint32, vci uint16) []byte {
+	b := appendHeader(make([]byte, 0, headerLen+2), TypeTeardown, reqID)
+	var p [2]byte
+	binary.BigEndian.PutUint16(p[:], vci)
+	return append(b, p[:]...)
+}
+
+// DecodeTeardown parses a teardown payload.
+func DecodeTeardown(p []byte) (uint16, error) {
+	if len(p) < 2 {
+		return 0, ErrFrame
+	}
+	return binary.BigEndian.Uint16(p[0:2]), nil
+}
+
+// EncodeOK builds a success reply of the given type (TypeSetupOK or
+// TypeTeardownOK).
+func EncodeOK(typ uint8, reqID uint32) []byte {
+	return appendHeader(make([]byte, 0, headerLen), typ, reqID)
+}
+
+// EncodeErr builds an error reply carrying a message string.
+func EncodeErr(reqID uint32, msg string) []byte {
+	if len(msg) > maxFrame-headerLen {
+		msg = msg[:maxFrame-headerLen]
+	}
+	b := appendHeader(make([]byte, 0, headerLen+len(msg)), TypeErr, reqID)
+	return append(b, msg...)
+}
+
+// EncodeRM builds a renegotiation datagram wrapping a full RM cell.
+func EncodeRM(reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
+	raw, err := cell.Build(h, m)
+	if err != nil {
+		return nil, err
+	}
+	b := appendHeader(make([]byte, 0, headerLen+cell.Size), TypeRM, reqID)
+	return append(b, raw[:]...), nil
+}
+
+// EncodeRMReply builds a reply datagram wrapping the backward RM cell.
+func EncodeRMReply(reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
+	raw, err := cell.Build(h, m)
+	if err != nil {
+		return nil, err
+	}
+	b := appendHeader(make([]byte, 0, headerLen+cell.Size), TypeRMReply, reqID)
+	return append(b, raw[:]...), nil
+}
+
+// DecodeRM parses an RM payload back into header and message.
+func DecodeRM(p []byte) (cell.Header, cell.RM, error) {
+	if len(p) < cell.Size {
+		return cell.Header{}, cell.RM{}, ErrFrame
+	}
+	return cell.Parse(p[:cell.Size])
+}

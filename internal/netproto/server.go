@@ -1,0 +1,134 @@
+package netproto
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"rcbr/internal/switchfab"
+)
+
+// Server serves RCBR signaling over UDP for one switch.
+type Server struct {
+	sw   *switchfab.Switch
+	conn net.PacketConn
+	log  *log.Logger
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewServer binds a UDP listener on addr (e.g. "127.0.0.1:0") for the given
+// switch. logger may be nil to disable logging.
+func NewServer(addr string, sw *switchfab.Switch, logger *log.Logger) (*Server, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{sw: sw, conn: conn, log: logger, done: make(chan struct{})}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Serve processes datagrams until Close. It always returns a non-nil error;
+// after Close the error wraps net.ErrClosed.
+func (s *Server) Serve() error {
+	buf := make([]byte, maxFrame)
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return net.ErrClosed
+			default:
+			}
+			if s.log != nil {
+				s.log.Printf("netproto: read: %v", err)
+			}
+			return err
+		}
+		reply := s.handle(buf[:n])
+		if reply != nil {
+			if _, err := s.conn.WriteTo(reply, from); err != nil && s.log != nil {
+				s.log.Printf("netproto: write to %v: %v", from, err)
+			}
+		}
+	}
+}
+
+// handle processes one datagram and returns the reply (nil to stay silent,
+// e.g. for garbage that cannot even be attributed to a request).
+func (s *Server) handle(b []byte) []byte {
+	f, err := ParseFrame(b)
+	if err != nil {
+		if s.log != nil {
+			s.log.Printf("netproto: %v", err)
+		}
+		return nil
+	}
+	switch f.Type {
+	case TypeSetup:
+		req, err := DecodeSetup(f.Payload)
+		if err != nil {
+			return EncodeErr(f.ReqID, err.Error())
+		}
+		if err := s.sw.Setup(req.VCI, int(req.Port), req.Rate); err != nil {
+			// Duplicate setup of the same VCI at the same rate is treated
+			// as a retransmission and acknowledged idempotently.
+			if errors.Is(err, switchfab.ErrVCExists) {
+				if r, rerr := s.sw.VCRate(req.VCI); rerr == nil && r == req.Rate {
+					return EncodeOK(TypeSetupOK, f.ReqID)
+				}
+			}
+			return EncodeErr(f.ReqID, err.Error())
+		}
+		return EncodeOK(TypeSetupOK, f.ReqID)
+
+	case TypeTeardown:
+		vci, err := DecodeTeardown(f.Payload)
+		if err != nil {
+			return EncodeErr(f.ReqID, err.Error())
+		}
+		if err := s.sw.Teardown(vci); err != nil {
+			// A retransmitted teardown finds no VC; acknowledge it.
+			if errors.Is(err, switchfab.ErrNoVC) {
+				return EncodeOK(TypeTeardownOK, f.ReqID)
+			}
+			return EncodeErr(f.ReqID, err.Error())
+		}
+		return EncodeOK(TypeTeardownOK, f.ReqID)
+
+	case TypeRM:
+		h, m, err := DecodeRM(f.Payload)
+		if err != nil {
+			return EncodeErr(f.ReqID, err.Error())
+		}
+		resp, err := s.sw.HandleRM(h, m)
+		if err != nil {
+			return EncodeErr(f.ReqID, err.Error())
+		}
+		reply, err := EncodeRMReply(f.ReqID, h, resp)
+		if err != nil {
+			return EncodeErr(f.ReqID, err.Error())
+		}
+		return reply
+
+	default:
+		return EncodeErr(f.ReqID, "unknown message type")
+	}
+}
+
+// Close shuts the server down and unblocks Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	return s.conn.Close()
+}

@@ -1,0 +1,121 @@
+// Package path implements multi-hop RCBR renegotiation (Section III-C of
+// the paper): a connection traverses several switches, and a renegotiation
+// succeeds only if every hop grants it. "As the mean number of hops in the
+// network increases, the probability of renegotiation failure is likely to
+// increase since each hop is a possible point of failure." Rate increases
+// are processed hop by hop and rolled back on a mid-path denial, so the
+// reservation state stays consistent end to end; decreases always succeed.
+package path
+
+import (
+	"errors"
+	"fmt"
+
+	"rcbr/internal/switchfab"
+)
+
+// Hop is one switch on a connection's route, bound to the output port the
+// connection uses there.
+type Hop struct {
+	Switch *switchfab.Switch
+	Port   int
+}
+
+// Path is an established multi-hop RCBR connection. Create with Setup.
+type Path struct {
+	vci  uint16
+	hops []Hop
+	rate float64
+}
+
+// ErrPartialSetup is returned when setup fails mid-path; hops set up before
+// the failure are torn down automatically.
+var ErrPartialSetup = errors.New("path: setup denied mid-path")
+
+// Setup establishes the VC on every hop at the initial rate. On a mid-path
+// failure the already-established hops are torn down and ErrPartialSetup is
+// returned (wrapped around the hop's error).
+func Setup(vci uint16, hops []Hop, rate float64) (*Path, error) {
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("path: no hops")
+	}
+	for i, h := range hops {
+		if err := h.Switch.Setup(vci, h.Port, rate); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				// Teardown of a just-made reservation cannot fail.
+				_ = hops[j].Switch.Teardown(vci)
+			}
+			return nil, fmt.Errorf("%w: hop %d: %v", ErrPartialSetup, i, err)
+		}
+	}
+	return &Path{vci: vci, hops: append([]Hop(nil), hops...), rate: rate}, nil
+}
+
+// Rate returns the rate currently reserved on every hop.
+func (p *Path) Rate() float64 { return p.rate }
+
+// Hops returns the number of hops.
+func (p *Path) Hops() int { return len(p.hops) }
+
+// Renegotiate requests a new rate on every hop. An increase is granted only
+// if all hops grant it in full; on a denial at hop i, hops 0..i-1 are rolled
+// back to the old rate (a decrease, which cannot fail) and the connection
+// keeps its old rate — the end-to-end analogue of Section III-A.1. The
+// return mirrors switchfab: the rate now in force and whether the request
+// succeeded in full.
+func (p *Path) Renegotiate(newRate float64) (float64, bool, error) {
+	if newRate < 0 {
+		return p.rate, false, fmt.Errorf("path: negative rate %g", newRate)
+	}
+	if newRate == p.rate {
+		return p.rate, true, nil
+	}
+	if newRate < p.rate {
+		// Decreases succeed at every hop unconditionally.
+		for i, h := range p.hops {
+			if _, ok, err := h.Switch.Renegotiate(p.vci, newRate); err != nil || !ok {
+				return p.rate, false, fmt.Errorf("path: hop %d refused a decrease: %v", i, err)
+			}
+		}
+		p.rate = newRate
+		return p.rate, true, nil
+	}
+	// Increase: hop-by-hop with rollback.
+	for i, h := range p.hops {
+		granted, ok, err := h.Switch.Renegotiate(p.vci, newRate)
+		if err != nil {
+			p.rollback(i)
+			return p.rate, false, err
+		}
+		if !ok || granted != newRate {
+			// This hop kept the old rate (or granted partially under a
+			// different policy); restore the hops already raised.
+			if granted != p.rate {
+				_, _, _ = h.Switch.Renegotiate(p.vci, p.rate)
+			}
+			p.rollback(i)
+			return p.rate, false, nil
+		}
+	}
+	p.rate = newRate
+	return p.rate, true, nil
+}
+
+// rollback restores hops[0:i] to the old rate.
+func (p *Path) rollback(i int) {
+	for j := 0; j < i; j++ {
+		_, _, _ = p.hops[j].Switch.Renegotiate(p.vci, p.rate)
+	}
+}
+
+// Teardown releases the VC on every hop, returning the first error but
+// attempting all hops regardless.
+func (p *Path) Teardown() error {
+	var first error
+	for i, h := range p.hops {
+		if err := h.Switch.Teardown(p.vci); err != nil && first == nil {
+			first = fmt.Errorf("path: hop %d: %w", i, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,205 @@
+package path
+
+import (
+	"errors"
+	"testing"
+
+	"rcbr/internal/stats"
+	"rcbr/internal/switchfab"
+)
+
+// line builds a chain of n switches, each with one port of the given
+// capacity, returning the hop list.
+func line(t *testing.T, n int, capacity float64) []Hop {
+	t.Helper()
+	hops := make([]Hop, n)
+	for i := range hops {
+		sw := switchfab.New(nil)
+		if err := sw.AddPort(1, capacity); err != nil {
+			t.Fatal(err)
+		}
+		hops[i] = Hop{Switch: sw, Port: 1}
+	}
+	return hops
+}
+
+func TestSetupAndTeardown(t *testing.T) {
+	hops := line(t, 3, 1e6)
+	p, err := Setup(7, hops, 200e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 3 || p.Rate() != 200e3 {
+		t.Fatalf("path %+v", p)
+	}
+	for i, h := range hops {
+		if r, err := h.Switch.VCRate(7); err != nil || r != 200e3 {
+			t.Fatalf("hop %d rate %v err %v", i, r, err)
+		}
+	}
+	if err := p.Teardown(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hops {
+		if h.Switch.VCCount() != 0 {
+			t.Fatalf("hop %d still has VCs", i)
+		}
+	}
+}
+
+func TestSetupRollsBackMidPath(t *testing.T) {
+	hops := line(t, 3, 1e6)
+	// Saturate the middle hop.
+	if err := hops[1].Switch.Setup(99, 1, 950e3); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Setup(7, hops, 200e3)
+	if !errors.Is(err, ErrPartialSetup) {
+		t.Fatalf("err = %v", err)
+	}
+	// The first hop must have been rolled back.
+	if hops[0].Switch.VCCount() != 0 {
+		t.Fatal("partial setup leaked a reservation on hop 0")
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	if _, err := Setup(1, nil, 100); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestRenegotiateIncreaseAllGrant(t *testing.T) {
+	hops := line(t, 4, 1e6)
+	p, err := Setup(7, hops, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := p.Renegotiate(500e3)
+	if err != nil || !ok || got != 500e3 {
+		t.Fatalf("increase: %v %v %v", got, ok, err)
+	}
+	for i, h := range hops {
+		if r, _ := h.Switch.VCRate(7); r != 500e3 {
+			t.Fatalf("hop %d at %v", i, r)
+		}
+	}
+}
+
+func TestRenegotiateIncreaseRollsBack(t *testing.T) {
+	hops := line(t, 3, 1e6)
+	// Load the last hop so the increase fails there.
+	if err := hops[2].Switch.Setup(99, 1, 800e3); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Setup(7, hops, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := p.Renegotiate(500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || got != 100e3 {
+		t.Fatalf("should have failed keeping old rate: %v %v", got, ok)
+	}
+	// Every hop must be back at the old rate: no stranded bandwidth.
+	for i, h := range hops {
+		if r, _ := h.Switch.VCRate(7); r != 100e3 {
+			t.Fatalf("hop %d stranded at %v", i, r)
+		}
+	}
+	// Denial counters: the last hop denied; earlier hops saw grant+rollback.
+	if st := hops[2].Switch.Stats(); st.Denials != 1 {
+		t.Fatalf("hop 2 denials = %d", st.Denials)
+	}
+}
+
+func TestRenegotiateDecreaseAlwaysSucceeds(t *testing.T) {
+	hops := line(t, 3, 1e6)
+	p, err := Setup(7, hops, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := p.Renegotiate(100e3)
+	if err != nil || !ok || got != 100e3 {
+		t.Fatalf("decrease: %v %v %v", got, ok, err)
+	}
+	// Same-rate renegotiation is a no-op success.
+	got, ok, err = p.Renegotiate(100e3)
+	if err != nil || !ok || got != 100e3 {
+		t.Fatalf("no-op: %v %v %v", got, ok, err)
+	}
+	if _, ok, _ := p.Renegotiate(-1); ok {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestFailureGrowsWithHops(t *testing.T) {
+	// Section III-C: each hop is an independent point of failure, so the
+	// end-to-end failure probability grows with path length. Give every
+	// hop independent random background load and count denials.
+	rng := stats.NewRNG(11)
+	trial := func(hopCount int) (failures, trials int) {
+		for k := 0; k < 400; k++ {
+			hops := make([]Hop, hopCount)
+			for i := range hops {
+				sw := switchfab.New(nil)
+				if err := sw.AddPort(1, 1e6); err != nil {
+					t.Fatal(err)
+				}
+				// Background occupancy uniform in [0, 900k].
+				bg := rng.Float64() * 900e3
+				if bg > 0 {
+					if err := sw.Setup(99, 1, bg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				hops[i] = Hop{Switch: sw, Port: 1}
+			}
+			p, err := Setup(7, hops, 50e3)
+			if err != nil {
+				continue // blocked at setup; not a renegotiation trial
+			}
+			trials++
+			if _, ok, err := p.Renegotiate(400e3); err != nil {
+				t.Fatal(err)
+			} else if !ok {
+				failures++
+			}
+		}
+		return failures, trials
+	}
+	f1, n1 := trial(1)
+	f4, n4 := trial(4)
+	p1 := float64(f1) / float64(n1)
+	p4 := float64(f4) / float64(n4)
+	if p4 <= p1 {
+		t.Fatalf("failure should grow with hops: 1 hop %.3f, 4 hops %.3f", p1, p4)
+	}
+	// Independence check: 1-(1-p1)^4 approximates p4 within sampling noise.
+	pred := 1 - (1-p1)*(1-p1)*(1-p1)*(1-p1)
+	if p4 < pred*0.7 || p4 > pred*1.3 {
+		t.Logf("note: p4 %.3f vs independent prediction %.3f", p4, pred)
+	}
+}
+
+func TestTeardownReportsFirstError(t *testing.T) {
+	hops := line(t, 2, 1e6)
+	p, err := Setup(7, hops, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually remove the VC from hop 0 to force a teardown error there.
+	if err := hops[0].Switch.Teardown(7); err != nil {
+		t.Fatal(err)
+	}
+	err = p.Teardown()
+	if err == nil {
+		t.Fatal("missing-VC teardown should error")
+	}
+	// Hop 1 must still have been torn down.
+	if hops[1].Switch.VCCount() != 0 {
+		t.Fatal("teardown stopped at first error")
+	}
+}

@@ -1,0 +1,337 @@
+// Package queue implements the slotted fluid-queue model the paper uses for
+// all three service scenarios (Fig. 3): data arriving per slot into a finite
+// buffer drained at a constant or piecewise-constant rate, with bits lost on
+// overflow. It also provides the binary searches behind the (c, B) curve of
+// Fig. 5 and the per-stream capacity searches of Fig. 6.
+//
+// The queue recursion is the paper's eq. (3): with arrivals a_t and service
+// s_t bits in slot t, the occupancy evolves as
+//
+//	q_t = clamp(q_{t-1} + a_t - s_t, 0, B)
+//
+// and any excess above B is counted as lost.
+package queue
+
+import (
+	"fmt"
+	"math"
+
+	"rcbr/internal/trace"
+)
+
+// Result summarizes one queue run.
+type Result struct {
+	ArrivedBits    float64
+	ServedBits     float64
+	LostBits       float64
+	MaxOccupancy   float64 // bits
+	FinalOccupancy float64 // bits
+	// MaxDelaySlots is the largest virtual delay observed, in slots: the
+	// time data arriving at the worst moment waits before departure,
+	// measured by occupancy divided by the current service rate.
+	MaxDelaySlots float64
+}
+
+// LossFraction returns LostBits/ArrivedBits, or 0 for an empty run.
+func (r Result) LossFraction() float64 {
+	if r.ArrivedBits == 0 {
+		return 0
+	}
+	return r.LostBits / r.ArrivedBits
+}
+
+// Run simulates a finite buffer of B bits receiving arrivals[t] bits in slot
+// t and drained at serviceRate (bits/second) with slots of slotSec seconds.
+// It panics if slotSec, B or serviceRate is negative.
+func Run(arrivals []float64, slotSec, serviceRate, B float64) Result {
+	if slotSec <= 0 || B < 0 || serviceRate < 0 {
+		panic("queue: invalid Run arguments")
+	}
+	perSlot := serviceRate * slotSec
+	var q, arrived, lost, maxQ, maxDelay float64
+	for _, a := range arrivals {
+		arrived += a
+		q += a - perSlot
+		if q < 0 {
+			q = 0
+		}
+		if q > B {
+			lost += q - B
+			q = B
+		}
+		if q > maxQ {
+			maxQ = q
+		}
+		if perSlot > 0 {
+			if d := q / perSlot; d > maxDelay {
+				maxDelay = d
+			}
+		} else if q > 0 {
+			maxDelay = math.Inf(1)
+		}
+	}
+	return Result{
+		ArrivedBits:    arrived,
+		ServedBits:     arrived - lost - q,
+		LostBits:       lost,
+		MaxOccupancy:   maxQ,
+		FinalOccupancy: q,
+		MaxDelaySlots:  maxDelay,
+	}
+}
+
+// RunSchedule is like Run but with a per-slot service rate rates[t]
+// (bits/second). rates must be at least as long as arrivals.
+func RunSchedule(arrivals []float64, slotSec float64, rates []float64, B float64) Result {
+	if slotSec <= 0 || B < 0 {
+		panic("queue: invalid RunSchedule arguments")
+	}
+	if len(rates) < len(arrivals) {
+		panic(fmt.Sprintf("queue: %d rates for %d arrival slots", len(rates), len(arrivals)))
+	}
+	var q, arrived, lost, maxQ, maxDelay float64
+	for t, a := range arrivals {
+		perSlot := rates[t] * slotSec
+		arrived += a
+		q += a - perSlot
+		if q < 0 {
+			q = 0
+		}
+		if q > B {
+			lost += q - B
+			q = B
+		}
+		if q > maxQ {
+			maxQ = q
+		}
+		if perSlot > 0 {
+			if d := q / perSlot; d > maxDelay {
+				maxDelay = d
+			}
+		} else if q > 0 {
+			maxDelay = math.Inf(1)
+		}
+	}
+	return Result{
+		ArrivedBits:    arrived,
+		ServedBits:     arrived - lost - q,
+		LostBits:       lost,
+		MaxOccupancy:   maxQ,
+		FinalOccupancy: q,
+		MaxDelaySlots:  maxDelay,
+	}
+}
+
+// RunCyclic approximates the steady-state loss of a periodic source: warm-up
+// passes play the arrival vector through the queue until the end-of-pass
+// occupancy reaches a fixpoint (it is monotone non-decreasing from an empty
+// start and bounded by B, so it converges; a saturated buffer is itself the
+// fixpoint), then one final pass is measured. Without this, a service rate
+// below the source mean looks loss-free on a single finite pass because the
+// backlog hides in the buffer instead of overflowing.
+func RunCyclic(arrivals []float64, slotSec, serviceRate, B float64) Result {
+	if slotSec <= 0 || B < 0 || serviceRate < 0 {
+		panic("queue: invalid RunCyclic arguments")
+	}
+	perSlot := serviceRate * slotSec
+	var q float64
+	const maxWarm = 32
+	prev := -1.0
+	for pass := 0; pass < maxWarm && q != prev; pass++ {
+		prev = q
+		for _, a := range arrivals {
+			q += a - perSlot
+			if q < 0 {
+				q = 0
+			}
+			if q > B {
+				q = B
+			}
+		}
+	}
+	// Measured pass.
+	var arrived, lost, maxQ, maxDelay float64
+	for _, a := range arrivals {
+		arrived += a
+		q += a - perSlot
+		if q < 0 {
+			q = 0
+		}
+		if q > B {
+			lost += q - B
+			q = B
+		}
+		if q > maxQ {
+			maxQ = q
+		}
+		if perSlot > 0 {
+			if d := q / perSlot; d > maxDelay {
+				maxDelay = d
+			}
+		} else if q > 0 {
+			maxDelay = math.Inf(1)
+		}
+	}
+	return Result{
+		ArrivedBits:    arrived,
+		ServedBits:     arrived - lost,
+		LostBits:       lost,
+		MaxOccupancy:   maxQ,
+		FinalOccupancy: q,
+		MaxDelaySlots:  maxDelay,
+	}
+}
+
+// Arrivals converts a trace into a per-slot arrival vector in bits.
+func Arrivals(tr *trace.Trace) []float64 {
+	out := make([]float64, tr.Len())
+	for i, b := range tr.FrameBits {
+		out[i] = float64(b)
+	}
+	return out
+}
+
+// SumArrivals element-wise adds src into dst, which must be at least as
+// long as src.
+func SumArrivals(dst []float64, src []float64) {
+	if len(dst) < len(src) {
+		panic("queue: SumArrivals dst shorter than src")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// AggregateArrivals returns the per-slot sum of all traces' frames in bits.
+// All traces must share the same length and frame rate.
+func AggregateArrivals(traces []*trace.Trace) []float64 {
+	if len(traces) == 0 {
+		return nil
+	}
+	n := traces[0].Len()
+	fps := traces[0].FPS
+	out := make([]float64, n)
+	for _, tr := range traces {
+		if tr.Len() != n || tr.FPS != fps {
+			panic("queue: AggregateArrivals with mismatched traces")
+		}
+		for i, b := range tr.FrameBits {
+			out[i] += float64(b)
+		}
+	}
+	return out
+}
+
+// MinRateForLoss returns the smallest CBR service rate (bits/second) such
+// that the steady-state fraction of bits lost from a buffer of B bits is at
+// most target (cyclic semantics: the trace repeats, see RunCyclic). The
+// search runs between 0 and the peak slot rate, where the loss is zero.
+func MinRateForLoss(arrivals []float64, slotSec, B, target float64) float64 {
+	if len(arrivals) == 0 {
+		return 0
+	}
+	var peak float64
+	for _, a := range arrivals {
+		if a > peak {
+			peak = a
+		}
+	}
+	hi := peak / slotSec // no loss possible at or above the peak slot rate
+	// No rate below the long-term mean can meet a loss target in steady
+	// state, so the mean is the search floor.
+	var total float64
+	for _, a := range arrivals {
+		total += a
+	}
+	lo := total / (slotSec * float64(len(arrivals)))
+	if lo > hi {
+		lo = hi
+	}
+	lossAt := func(c float64) float64 {
+		return RunCyclic(arrivals, slotSec, c, B).LossFraction()
+	}
+	if lossAt(lo) <= target {
+		return lo
+	}
+	if lossAt(hi) > target {
+		// B == 0 and fractional bits edge; nudge up.
+		hi *= 1 + 1e-9
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if lossAt(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// MinBufferForLoss returns the smallest buffer B (bits) such that a CBR
+// drain at c bits/second loses at most the target fraction in steady state
+// (cyclic semantics). If c is at or below the source mean, no finite buffer
+// suffices and it returns +Inf.
+func MinBufferForLoss(arrivals []float64, slotSec, c, target float64) float64 {
+	if len(arrivals) == 0 {
+		return 0
+	}
+	var total float64
+	for _, a := range arrivals {
+		total += a
+	}
+	mean := total / (slotSec * float64(len(arrivals)))
+	if c < mean {
+		return math.Inf(1)
+	}
+	// The cyclic unbounded queue's max occupancy is the zero-loss buffer.
+	unbounded := RunCyclic(arrivals, slotSec, c, math.Inf(1))
+	if target <= 0 {
+		return unbounded.MaxOccupancy
+	}
+	lo, hi := 0.0, unbounded.MaxOccupancy
+	if hi == 0 {
+		return 0
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if RunCyclic(arrivals, slotSec, c, mid).LossFraction() > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// CBPoint is one point of the Fig. 5 (c, B) curve.
+type CBPoint struct {
+	BufferBits float64
+	Rate       float64 // min CBR rate for the loss target, bits/s
+}
+
+// CBCurve computes the (c, B) curve of Fig. 5: for each buffer size, the
+// minimum CBR service rate keeping the bit-loss fraction at or below target.
+func CBCurve(tr *trace.Trace, buffers []float64, target float64) []CBPoint {
+	arr := Arrivals(tr)
+	slot := tr.SlotSeconds()
+	out := make([]CBPoint, len(buffers))
+	for i, b := range buffers {
+		out[i] = CBPoint{BufferBits: b, Rate: MinRateForLoss(arr, slot, b, target)}
+	}
+	return out
+}
+
+// LogSpace returns n values logarithmically spaced between lo and hi
+// inclusive. It panics unless 0 < lo <= hi and n >= 2.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi < lo || n < 2 {
+		panic("queue: LogSpace invalid arguments")
+	}
+	out := make([]float64, n)
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(ratio*float64(i)/float64(n-1))
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+// Package sim provides a minimal discrete-event simulation engine: a clock
+// and a time-ordered event queue with deterministic FIFO tie-breaking. The
+// call-level admission experiments of Section VI run on it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+}
+
+type event struct {
+	time   float64
+	seq    uint64 // FIFO among equal times
+	action func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules action at absolute time t. Scheduling in the past panics: it
+// is always a logic error in a discrete-event model.
+func (e *Engine) At(t float64, action func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %g before now %g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: t, seq: e.seq, action: action})
+}
+
+// After schedules action delay seconds from now. Negative delays panic.
+func (e *Engine) After(delay float64, action func()) {
+	e.At(e.now+delay, action)
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.time
+	ev.action()
+	return true
+}
+
+// RunUntil executes events with time <= horizon, then advances the clock to
+// the horizon. Events scheduled during execution are honored.
+func (e *Engine) RunUntil(horizon float64) {
+	for e.queue.Len() > 0 && e.queue[0].time <= horizon {
+		e.Step()
+	}
+	if horizon > e.now {
+		e.now = horizon
+	}
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

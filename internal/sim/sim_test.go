@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var e Engine
+	var hits []float64
+	e.After(1, func() {
+		hits = append(hits, e.Now())
+		e.After(2, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var count int
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		e.At(tm, func() { count++ })
+	}
+	e.RunUntil(3)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.RunUntil(10)
+	if count != 5 || e.Now() != 10 {
+		t.Fatalf("count=%d now=%v", count, e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("past scheduling accepted")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestStepEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEventScheduledDuringRunUntil(t *testing.T) {
+	var e Engine
+	var ran bool
+	e.At(1, func() {
+		e.At(2, func() { ran = true })
+	})
+	e.RunUntil(2)
+	if !ran {
+		t.Fatal("nested event within horizon did not run")
+	}
+}

@@ -1,0 +1,291 @@
+// Package smg measures the statistical multiplexing gain of the three
+// service scenarios of the paper's Fig. 3 and regenerates Figs. 5 and 6:
+//
+//	(a) static CBR: each source has a private buffer B and a fixed rate;
+//	    the required per-stream rate is independent of the number of
+//	    sources N.
+//	(b) unrestricted sharing: N sources share one buffer N*B drained at
+//	    N*c — the maximum achievable multiplexing gain.
+//	(c) RCBR: each source is smoothed into a stepwise-CBR stream by its
+//	    private buffer B and renegotiation schedule; the multiplexer is
+//	    bufferless with capacity N*c, and bits are lost at rate
+//	    max(0, total demand - capacity) when renegotiations fail.
+//
+// For scenarios (b) and (c) the per-stream capacity c needed for a target
+// bit-loss fraction is found by binary search; at every candidate capacity
+// the loss is estimated over randomized phasings of the source trace until
+// the paper's stopping rule holds (95% confidence half-width within 20% of
+// the estimate), exactly as described in Section V-B.
+package smg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rcbr/internal/core"
+	"rcbr/internal/queue"
+	"rcbr/internal/stats"
+	"rcbr/internal/trace"
+)
+
+// Config holds the shared experiment parameters.
+type Config struct {
+	// Trace is the per-source workload; sources are random cyclic shifts.
+	Trace *trace.Trace
+	// Schedule is the RCBR renegotiation schedule for the trace (scenario
+	// c); typically the offline optimum from internal/trellis.
+	Schedule *core.Schedule
+	// BufferBits is the per-source buffer B.
+	BufferBits float64
+	// LossTarget is the acceptable fraction of bits lost (paper: 1e-6).
+	LossTarget float64
+	// MinReps and MaxReps bound the randomized-phasing replications per
+	// capacity candidate; the CI stopping rule decides within the bounds.
+	MinReps, MaxReps int
+	// CIFrac is the stopping rule's relative half-width (paper: 0.2).
+	CIFrac float64
+	// SearchIters is the number of binary-search refinements (default 12).
+	SearchIters int
+	// Seed drives all phasing randomness.
+	Seed uint64
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Trace == nil || c.Trace.Len() == 0:
+		return fmt.Errorf("smg: missing trace")
+	case c.BufferBits <= 0:
+		return fmt.Errorf("smg: buffer must be positive")
+	case c.LossTarget <= 0 || c.LossTarget >= 1:
+		return fmt.Errorf("smg: loss target %g outside (0,1)", c.LossTarget)
+	case c.MinReps <= 0 || c.MaxReps < c.MinReps:
+		return fmt.Errorf("smg: bad replication bounds %d..%d", c.MinReps, c.MaxReps)
+	case c.CIFrac <= 0:
+		return fmt.Errorf("smg: CIFrac must be positive")
+	}
+	return nil
+}
+
+func (c *Config) searchIters() int {
+	if c.SearchIters > 0 {
+		return c.SearchIters
+	}
+	return 12
+}
+
+// SearchStats reports the work behind one capacity search.
+type SearchStats struct {
+	Simulations int     // loss-estimation runs performed
+	FinalLoss   float64 // estimated loss fraction at the returned capacity
+}
+
+// CBRRate returns scenario (a)'s per-stream rate: the minimum CBR rate
+// draining a private buffer of B bits with bit-loss at most the target. It
+// is N-independent (no multiplexing).
+func CBRRate(tr *trace.Trace, bufferBits, lossTarget float64) float64 {
+	return queue.MinRateForLoss(queue.Arrivals(tr), tr.SlotSeconds(), bufferBits, lossTarget)
+}
+
+// SharedRate returns scenario (b)'s per-stream capacity for n multiplexed
+// sources: the minimum c such that n randomly phased copies of the trace
+// through a shared buffer n*B at rate n*c lose at most the target fraction.
+func SharedRate(cfg Config, n int) (float64, SearchStats, error) {
+	var st SearchStats
+	if err := cfg.Validate(); err != nil {
+		return 0, st, err
+	}
+	if n <= 0 {
+		return 0, st, fmt.Errorf("smg: n must be positive, got %d", n)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	slot := cfg.Trace.SlotSeconds()
+	T := cfg.Trace.Len()
+
+	// Pre-generate aggregate arrival vectors, one per phasing, reused
+	// across all binary-search candidates.
+	aggs := make([][]float64, 0, cfg.MaxReps)
+	makeAgg := func() []float64 {
+		agg := make([]float64, T)
+		for s := 0; s < n; s++ {
+			shift := rng.Intn(T)
+			for t := 0; t < T; t++ {
+				agg[t] += float64(cfg.Trace.FrameBits[(t+shift)%T])
+			}
+		}
+		return agg
+	}
+
+	lossAt := func(cPer float64) float64 {
+		var acc stats.Accumulator
+		C := cPer * float64(n)
+		B := cfg.BufferBits * float64(n)
+		for rep := 0; rep < cfg.MaxReps; rep++ {
+			if rep >= len(aggs) {
+				aggs = append(aggs, makeAgg())
+			}
+			res := queue.RunCyclic(aggs[rep], slot, C, B)
+			acc.Add(res.LossFraction())
+			st.Simulations++
+			if rep+1 >= cfg.MinReps &&
+				(acc.Converged(cfg.CIFrac, cfg.MinReps) ||
+					acc.UpperBelow(cfg.LossTarget, cfg.MinReps)) {
+				break
+			}
+		}
+		return acc.Mean()
+	}
+
+	lo := cfg.Trace.MeanRate() * 0.95
+	hi := CBRRate(cfg.Trace, cfg.BufferBits, cfg.LossTarget)
+	if lossAt(hi) > cfg.LossTarget {
+		hi = cfg.Trace.PeakFrameRate()
+	}
+	for iter := 0; iter < cfg.searchIters(); iter++ {
+		mid := (lo + hi) / 2
+		if lossAt(mid) > cfg.LossTarget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	st.FinalLoss = lossAt(hi)
+	return hi, st, nil
+}
+
+// rateEvent is one point where a source's stepwise-CBR demand changes.
+type rateEvent struct {
+	timeSec float64
+	delta   float64 // change in aggregate demand, bits/s
+}
+
+// RCBRRate returns scenario (c)'s per-stream capacity for n multiplexed
+// RCBR sources following randomly shifted copies of cfg.Schedule through a
+// bufferless multiplexer. The loss model is the paper's: when aggregate
+// demand exceeds capacity, the excess rate is lost until demand recedes.
+func RCBRRate(cfg Config, n int) (float64, SearchStats, error) {
+	var st SearchStats
+	if err := cfg.Validate(); err != nil {
+		return 0, st, err
+	}
+	if cfg.Schedule == nil {
+		return 0, st, fmt.Errorf("smg: RCBRRate needs a schedule")
+	}
+	if n <= 0 {
+		return 0, st, fmt.Errorf("smg: n must be positive, got %d", n)
+	}
+	rng := stats.NewRNG(cfg.Seed + 1)
+	T := cfg.Schedule.Slots
+	dur := cfg.Schedule.DurationSec()
+	offered := float64(cfg.Trace.TotalBits()) * float64(n)
+
+	// Pre-generate per-phasing event lists (merged and time-sorted), reused
+	// across all capacity candidates; only the simulation's footnote-4
+	// renegotiation events are simulated, never individual frames.
+	phasings := make([][]rateEvent, 0, cfg.MaxReps)
+	makePhasing := func() []rateEvent {
+		var evs []rateEvent
+		for s := 0; s < n; s++ {
+			sh := cfg.Schedule.CyclicShift(rng.Intn(T))
+			var prev float64
+			for _, e := range sh.Events() {
+				evs = append(evs, rateEvent{timeSec: e.TimeSec, delta: e.Rate - prev})
+				prev = e.Rate
+			}
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].timeSec < evs[j].timeSec })
+		return evs
+	}
+
+	lossAt := func(cPer float64) float64 {
+		var acc stats.Accumulator
+		C := cPer * float64(n)
+		for rep := 0; rep < cfg.MaxReps; rep++ {
+			if rep >= len(phasings) {
+				phasings = append(phasings, makePhasing())
+			}
+			acc.Add(excessIntegral(phasings[rep], C, dur) / offered)
+			st.Simulations++
+			if rep+1 >= cfg.MinReps &&
+				(acc.Converged(cfg.CIFrac, cfg.MinReps) ||
+					acc.UpperBelow(cfg.LossTarget, cfg.MinReps)) {
+				break
+			}
+		}
+		return acc.Mean()
+	}
+
+	lo := cfg.Trace.MeanRate() * 0.95
+	hi := cfg.Schedule.PeakRate()
+	for iter := 0; iter < cfg.searchIters(); iter++ {
+		mid := (lo + hi) / 2
+		if lossAt(mid) > cfg.LossTarget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	st.FinalLoss = lossAt(hi)
+	return hi, st, nil
+}
+
+// excessIntegral integrates max(0, demand(t) - capacity) over [0, dur] for a
+// time-sorted event list, returning lost bits.
+func excessIntegral(evs []rateEvent, capacity, dur float64) float64 {
+	var demand, lost, prevT float64
+	for _, e := range evs {
+		if e.timeSec > prevT {
+			if over := demand - capacity; over > 0 {
+				lost += over * (e.timeSec - prevT)
+			}
+			prevT = e.timeSec
+		}
+		demand += e.delta
+	}
+	if over := demand - capacity; over > 0 && dur > prevT {
+		lost += over * (dur - prevT)
+	}
+	return lost
+}
+
+// Point is one column of Fig. 6: the per-stream capacity of each scenario
+// at a given number of multiplexed sources.
+type Point struct {
+	N      int
+	CBR    float64 // scenario (a), N-independent
+	Shared float64 // scenario (b)
+	RCBR   float64 // scenario (c)
+}
+
+// Curve computes Fig. 6 for the given source counts.
+func Curve(cfg Config, ns []int) ([]Point, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cbr := CBRRate(cfg.Trace, cfg.BufferBits, cfg.LossTarget)
+	out := make([]Point, len(ns))
+	for i, n := range ns {
+		shared, _, err := SharedRate(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		rcbr, _, err := RCBRRate(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Point{N: n, CBR: cbr, Shared: shared, RCBR: rcbr}
+	}
+	return out, nil
+}
+
+// AsymptoticRCBR returns the paper's asymptote for scenario (c): as N grows,
+// the per-stream capacity approaches the schedule's mean rate, i.e. the
+// trace mean divided by the bandwidth efficiency.
+func AsymptoticRCBR(tr *trace.Trace, sch *core.Schedule) float64 {
+	eff := sch.BandwidthEfficiency(tr)
+	if eff == 0 {
+		return math.Inf(1)
+	}
+	return tr.MeanRate() / eff
+}

@@ -1,0 +1,93 @@
+package stats
+
+import "math"
+
+// Accumulator collects streaming first and second moments using Welford's
+// algorithm. The zero value is an empty accumulator ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 when empty.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation, or 0 when empty.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance, or 0 when n < 2.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean, or 0 when n < 2.
+func (a *Accumulator) StdErr() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// z95 is the two-sided 95% standard normal quantile. The paper's stopping
+// rule uses 95% confidence intervals (Sections V-B and VI).
+const z95 = 1.959963984540054
+
+// CI95HalfWidth returns the half-width of the normal-approximation 95%
+// confidence interval for the mean.
+func (a *Accumulator) CI95HalfWidth() float64 { return z95 * a.StdErr() }
+
+// Converged reports whether the paper's stopping rule is met: the 95%
+// confidence half-width is within frac of the estimated mean. It requires at
+// least minSamples observations and a nonzero mean.
+func (a *Accumulator) Converged(frac float64, minSamples int) bool {
+	if a.n < minSamples || a.n < 2 {
+		return false
+	}
+	if a.mean == 0 {
+		return false
+	}
+	return a.CI95HalfWidth() <= frac*math.Abs(a.mean)
+}
+
+// UpperBelow reports whether the 95% CI upper bound lies below target; the
+// paper uses this to terminate early when the measured failure probability is
+// confidently below the QoS target (Section VI).
+func (a *Accumulator) UpperBelow(target float64, minSamples int) bool {
+	if a.n < minSamples || a.n < 2 {
+		return false
+	}
+	return a.mean+a.CI95HalfWidth() < target
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if m := a.Mean(); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	// Population variance of this set is 4; unbiased sample variance 32/7.
+	if v := a.Variance(); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator must report zeros")
+	}
+	if a.Converged(0.2, 1) {
+		t.Fatal("empty accumulator cannot be converged")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Variance() != 0 {
+		t.Fatal("single-sample variance must be 0")
+	}
+	if a.Converged(0.2, 1) {
+		t.Fatal("n=1 must not satisfy the stopping rule")
+	}
+}
+
+func TestConvergedStoppingRule(t *testing.T) {
+	var a Accumulator
+	// Identical samples: CI width 0, converges as soon as minSamples met.
+	for i := 0; i < 10; i++ {
+		a.Add(1.0)
+	}
+	if !a.Converged(0.2, 5) {
+		t.Fatal("constant stream should converge")
+	}
+	if a.Converged(0.2, 20) {
+		t.Fatal("minSamples must gate convergence")
+	}
+
+	var b Accumulator
+	b.Add(0)
+	b.Add(1000)
+	if b.Converged(0.2, 2) {
+		t.Fatal("wide CI should not converge")
+	}
+}
+
+func TestConvergedZeroMean(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 100; i++ {
+		a.Add(0)
+	}
+	if a.Converged(0.2, 10) {
+		t.Fatal("zero-mean stream must not report converged")
+	}
+}
+
+func TestUpperBelow(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 50; i++ {
+		a.Add(1e-6)
+	}
+	if !a.UpperBelow(1e-3, 10) {
+		t.Fatal("tiny constant failure rate should be confidently below target")
+	}
+	if a.UpperBelow(1e-7, 10) {
+		t.Fatal("upper bound cannot be below a target smaller than the mean")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n < 2 {
+			return true
+		}
+		r := NewRNG(seed)
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			a.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

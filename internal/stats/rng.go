@@ -1,0 +1,106 @@
+// Package stats provides the statistical substrate shared by every RCBR
+// experiment: a deterministic random number generator, streaming moment
+// accumulators, confidence intervals with the paper's stopping rules, and
+// histograms over discrete bandwidth levels.
+//
+// All randomness in the repository flows through RNG so that every experiment
+// is reproducible bit-for-bit from its seed.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on SplitMix64.
+// The zero value is a valid generator seeded with 0; use New for an explicit
+// seed. RNG is not safe for concurrent use; give each goroutine its own
+// generator (see Split).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent generator from r. The derived stream is
+// decorrelated from r's future output, which makes it safe to hand one
+// sub-generator to each replication of a simulation.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *RNG) ExpFloat64(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: ExpFloat64 with non-positive rate")
+	}
+	// Inverse transform; 1-U avoids log(0).
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller, polar form).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Pick returns an index in [0, len(weights)) chosen with probability
+// proportional to weights[i]. It panics if the weights are empty, negative,
+// or sum to zero.
+func (r *RNG) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("stats: Pick with negative or NaN weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("stats: Pick with empty or zero-sum weights")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var acc Accumulator
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.Float64())
+	}
+	if m := acc.Mean(); math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", m)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(3)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-trials/n) > 500 {
+			t.Fatalf("bucket %d count %d far from expected %d", i, c, trials/n)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	const rate = 2.5
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		v := r.ExpFloat64(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		acc.Add(v)
+	}
+	if m := acc.Mean(); math.Abs(m-1/rate) > 0.01 {
+		t.Fatalf("exp mean = %v, want ~%v", m, 1/rate)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(9)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.NormFloat64())
+	}
+	if m := acc.Mean(); math.Abs(m) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", m)
+	}
+	if s := acc.StdDev(); math.Abs(s-1) > 0.02 {
+		t.Fatalf("normal stddev = %v, want ~1", s)
+	}
+}
+
+func TestPickProportional(t *testing.T) {
+	r := NewRNG(13)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const trials = 90000
+	for i := 0; i < trials; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("picked zero-weight bucket %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(17)
+	s := r.Split()
+	// Derived stream must differ from the parent's continued stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream collided %d times", same)
+	}
+}
+
+func TestPickAlwaysInRange(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		var total float64
+		for i, b := range raw {
+			w[i] = float64(b)
+			total += w[i]
+		}
+		if total == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 32; i++ {
+			v := r.Pick(w)
+			if v < 0 || v >= len(w) || w[v] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

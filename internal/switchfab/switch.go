@@ -1,0 +1,263 @@
+// Package switchfab implements the RCBR switch controller of Section III of
+// the paper. The design goal is the paper's: because all admitted traffic is
+// (renegotiated) CBR, the switch needs no per-VC queueing or scheduling
+// state — only, per output port, the capacity and current reserved
+// utilization, and per VC, the output port and reserved rate. Handling a
+// renegotiation RM cell is exactly the paper's two lookups and one compare:
+// find the VC's output port, fetch the port's utilization and capacity, and
+// grant the request iff utilization plus the rate difference stays within
+// capacity; otherwise mark the backward cell denied and keep the old rate.
+//
+// Call setup (the expensive signaling path: route choice, VC allocation,
+// admission control) is a separate method with a pluggable admission policy,
+// mirroring the paper's split between heavyweight setup and lightweight
+// renegotiation.
+package switchfab
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rcbr/internal/cell"
+)
+
+// Errors returned by switch operations.
+var (
+	ErrNoPort      = errors.New("switchfab: no such port")
+	ErrPortExists  = errors.New("switchfab: port already exists")
+	ErrNoVC        = errors.New("switchfab: no such VC")
+	ErrVCExists    = errors.New("switchfab: VC already exists")
+	ErrAdmission   = errors.New("switchfab: call rejected by admission control")
+	ErrCapacity    = errors.New("switchfab: insufficient port capacity")
+	ErrInvalidRate = errors.New("switchfab: invalid rate")
+)
+
+// Admitter is the call-admission hook consulted at setup time (never during
+// renegotiation). Implementations may be stateful; the switch serializes
+// calls under its lock.
+type Admitter interface {
+	// AdmitCall reports whether a new call asking for rate bits/second may
+	// enter a port with the given reserved and capacity figures.
+	AdmitCall(port int, rate, reserved, capacity float64) bool
+}
+
+// AdmitterFunc adapts a function to the Admitter interface.
+type AdmitterFunc func(port int, rate, reserved, capacity float64) bool
+
+// AdmitCall implements Admitter.
+func (f AdmitterFunc) AdmitCall(port int, rate, reserved, capacity float64) bool {
+	return f(port, rate, reserved, capacity)
+}
+
+// Stats is a snapshot of switch activity counters.
+type Stats struct {
+	Setups         int64
+	SetupRejects   int64
+	Teardowns      int64
+	Renegotiations int64
+	Denials        int64
+	Resyncs        int64
+}
+
+type port struct {
+	capacity float64
+	reserved float64
+}
+
+type vcState struct {
+	port int
+	rate float64
+}
+
+// Switch is a software RCBR switch. It is safe for concurrent use.
+type Switch struct {
+	mu       sync.Mutex
+	ports    map[int]*port
+	vcs      map[uint16]*vcState
+	admitter Admitter
+	stats    Stats
+}
+
+// New returns an empty switch. A nil admitter admits every call that fits
+// within port capacity.
+func New(admitter Admitter) *Switch {
+	return &Switch{
+		ports:    make(map[int]*port),
+		vcs:      make(map[uint16]*vcState),
+		admitter: admitter,
+	}
+}
+
+// AddPort registers an output port with the given capacity in bits/second.
+func (s *Switch) AddPort(id int, capacity float64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("%w: capacity %g", ErrInvalidRate, capacity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ports[id]; ok {
+		return fmt.Errorf("%w: %d", ErrPortExists, id)
+	}
+	s.ports[id] = &port{capacity: capacity}
+	return nil
+}
+
+// Setup establishes a VC on an output port at an initial rate: the
+// heavyweight signaling path, subject to admission control and the hard
+// capacity check.
+func (s *Switch) Setup(vci uint16, portID int, rate float64) error {
+	if rate < 0 {
+		return fmt.Errorf("%w: %g", ErrInvalidRate, rate)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[portID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoPort, portID)
+	}
+	if _, ok := s.vcs[vci]; ok {
+		return fmt.Errorf("%w: %d", ErrVCExists, vci)
+	}
+	if p.reserved+rate > p.capacity {
+		s.stats.SetupRejects++
+		return fmt.Errorf("%w: port %d has %g of %g reserved",
+			ErrCapacity, portID, p.reserved, p.capacity)
+	}
+	if s.admitter != nil && !s.admitter.AdmitCall(portID, rate, p.reserved, p.capacity) {
+		s.stats.SetupRejects++
+		return ErrAdmission
+	}
+	p.reserved += rate
+	s.vcs[vci] = &vcState{port: portID, rate: rate}
+	s.stats.Setups++
+	return nil
+}
+
+// Teardown releases a VC and its reservation.
+func (s *Switch) Teardown(vci uint16) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vc, ok := s.vcs[vci]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoVC, vci)
+	}
+	s.ports[vc.port].reserved -= vc.rate
+	if s.ports[vc.port].reserved < 0 {
+		s.ports[vc.port].reserved = 0
+	}
+	delete(s.vcs, vci)
+	s.stats.Teardowns++
+	return nil
+}
+
+// Renegotiate applies a rate change request for a VC: the paper's
+// lightweight path. Decreases always succeed; an increase succeeds iff the
+// port stays within capacity. It returns the rate now in force and whether
+// the request was granted in full.
+func (s *Switch) Renegotiate(vci uint16, newRate float64) (granted float64, ok bool, err error) {
+	if newRate < 0 {
+		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, newRate)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.renegotiateLocked(vci, newRate)
+}
+
+func (s *Switch) renegotiateLocked(vci uint16, newRate float64) (float64, bool, error) {
+	vc, exists := s.vcs[vci]
+	if !exists {
+		return 0, false, fmt.Errorf("%w: %d", ErrNoVC, vci)
+	}
+	p := s.ports[vc.port]
+	s.stats.Renegotiations++
+	if p.reserved-vc.rate+newRate <= p.capacity {
+		p.reserved += newRate - vc.rate
+		vc.rate = newRate
+		return newRate, true, nil
+	}
+	// Denied: the source keeps the bandwidth it already has (III-A.1).
+	s.stats.Denials++
+	return vc.rate, false, nil
+}
+
+// HandleRM processes a forward RCBR RM cell and returns the backward cell.
+// Delta cells adjust the rate by ER with the sign of Decrease; resync cells
+// assert the absolute rate. The returned cell echoes the request with
+// Backward and Response set, Deny set on failure, and ER carrying the rate
+// now in force (absolute), so the source can resynchronize from any reply.
+func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
+	if m.Backward || m.Response {
+		return cell.RM{}, fmt.Errorf("switchfab: HandleRM on a backward/response cell")
+	}
+	if m.ER < 0 {
+		return cell.RM{}, fmt.Errorf("%w: %g", ErrInvalidRate, m.ER)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vc, exists := s.vcs[h.VCI]
+	if !exists {
+		return cell.RM{}, fmt.Errorf("%w: %d", ErrNoVC, h.VCI)
+	}
+	var want float64
+	switch {
+	case m.Resync:
+		want = m.ER
+		s.stats.Resyncs++
+	case m.Decrease:
+		want = vc.rate - m.ER
+		if want < 0 {
+			want = 0
+		}
+	default:
+		want = vc.rate + m.ER
+	}
+	granted, ok, err := s.renegotiateLocked(h.VCI, want)
+	if err != nil {
+		return cell.RM{}, err
+	}
+	return cell.RM{
+		Backward: true,
+		Response: true,
+		Resync:   true, // ER below is absolute: any reply resynchronizes
+		Deny:     !ok,
+		ER:       granted,
+		Seq:      m.Seq,
+	}, nil
+}
+
+// VCRate returns the reserved rate of a VC.
+func (s *Switch) VCRate(vci uint16) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vc, ok := s.vcs[vci]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoVC, vci)
+	}
+	return vc.rate, nil
+}
+
+// PortLoad returns a port's reserved rate and capacity.
+func (s *Switch) PortLoad(id int) (reserved, capacity float64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrNoPort, id)
+	}
+	return p.reserved, p.capacity, nil
+}
+
+// VCCount returns the number of established VCs.
+func (s *Switch) VCCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vcs)
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Switch) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

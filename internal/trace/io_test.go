@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rcbr/internal/stats"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := SyntheticStarWarsFrames(1, 500)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != tr.FPS || got.Len() != tr.Len() {
+		t.Fatalf("header mismatch: fps %v len %d", got.FPS, got.Len())
+	}
+	for i := range tr.FrameBits {
+		if got.FrameBits[i] != tr.FrameBits[i] {
+			t.Fatalf("frame %d: %d != %d", i, got.FrameBits[i], tr.FrameBits[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8, fpsTenth uint8) bool {
+		fps := float64(fpsTenth%250+10) / 10
+		r := stats.NewRNG(seed)
+		bits := make([]int64, n)
+		for i := range bits {
+			bits[i] = int64(r.Intn(1 << 20))
+		}
+		tr := New(bits, fps)
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		for i := range bits {
+			if got.FrameBits[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXX\x00\x01"),
+		"truncated": append([]byte("RCBT"), 0, 1),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	// Bad version.
+	tr := New([]int64{1}, 24)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[5] = 99 // version low byte
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := New([]int64{10, 20, 30}, 25)
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != 25 || got.Len() != 3 || got.FrameBits[2] != 30 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTextParsing(t *testing.T) {
+	in := "# a comment\n# fps 30\n\n100\n 200 \n300\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != 30 || got.Len() != 3 {
+		t.Fatalf("got fps %v len %d", got.FPS, got.Len())
+	}
+}
+
+func TestTextDefaultsFPS(t *testing.T) {
+	got, err := ReadText(strings.NewReader("1\n2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != 24 {
+		t.Fatalf("default fps = %v, want 24", got.FPS)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"garbage":  "abc\n",
+		"negative": "-5\n",
+		"bad fps":  "# fps zero\n1\n",
+	} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestSaveLoadAutodetect(t *testing.T) {
+	dir := t.TempDir()
+	tr := SyntheticStarWarsFrames(2, 200)
+
+	binPath := filepath.Join(dir, "t.rcbt")
+	if err := tr.Save(binPath, true); err != nil {
+		t.Fatal(err)
+	}
+	gotBin, err := Load(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBin.Len() != tr.Len() {
+		t.Fatalf("binary load len = %d", gotBin.Len())
+	}
+
+	txtPath := filepath.Join(dir, "t.txt")
+	if err := tr.Save(txtPath, false); err != nil {
+		t.Fatal(err)
+	}
+	gotTxt, err := Load(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTxt.Len() != tr.Len() || gotTxt.FPS != tr.FPS {
+		t.Fatalf("text load len = %d fps = %v", gotTxt.Len(), gotTxt.FPS)
+	}
+	for i := range tr.FrameBits {
+		if gotTxt.FrameBits[i] != tr.FrameBits[i] || gotBin.FrameBits[i] != tr.FrameBits[i] {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("no error for missing file")
+	}
+}

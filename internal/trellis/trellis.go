@@ -1,0 +1,491 @@
+// Package trellis computes the optimal offline renegotiation schedule of
+// Section IV-A of the RCBR paper: given a frame-size trace, a finite set of
+// bandwidth levels, a source buffer, and the cost model
+//
+//	J = alpha * #renegotiations + beta * sum_t c_t * slot
+//
+// it finds the cost-minimal piecewise-CBR service schedule subject to the
+// buffer (or delay) constraint, via a Viterbi-like shortest path over the
+// (time, rate, buffer occupancy) trellis of Fig. 1.
+//
+// The state space is kept tractable by the paper's Lemma 1: a path through
+// node (c, b, w) is dominated if some node (c', b', w') exists with b' <= b
+// and w' + alpha*1{c != c'} <= w. Within one rate this is Pareto pruning over
+// (buffer, weight); across rates it adds the alpha offset. Both prunings are
+// exact — the returned schedule is optimal — and both can be disabled
+// individually for the ablation benchmarks.
+//
+// Implementation note: surviving states are plain values; only renegotiation
+// events are heap-allocated, so a path's backtracking chain is one node per
+// segment rather than one per slot.
+package trellis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rcbr/internal/core"
+	"rcbr/internal/trace"
+)
+
+// Pruning selects how aggressively the trellis is pruned. All settings yield
+// an optimal schedule; they differ only in state-space size and runtime.
+type Pruning int
+
+const (
+	// PruneFull applies the complete Lemma 1: Pareto pruning within each
+	// rate plus alpha-offset domination across rates. The default.
+	PruneFull Pruning = iota
+	// PruneSameRate applies only the within-rate Pareto pruning (the
+	// standard Viterbi pruning strengthened to the continuous buffer).
+	PruneSameRate
+	// PruneExact deduplicates only exactly identical (rate, buffer) states,
+	// the textbook Viterbi rule. Exponentially larger frontiers; useful
+	// only for tiny ablation instances.
+	PruneExact
+)
+
+// Options configures the optimization.
+type Options struct {
+	// Levels is the set of allowed service rates in bits/second, ascending.
+	Levels []float64
+	// BufferBits is the source buffer B. The buffer constraint (eq. 2) is
+	// q_t <= BufferBits for all t.
+	BufferBits float64
+	// DelayBoundSlots, when positive, additionally enforces the delay bound
+	// of eq. (5): all data entering during slot t has left by the end of
+	// slot t + DelayBoundSlots. This is equivalent to the time-varying cap
+	// q_t <= (arrivals during the last DelayBoundSlots slots), which the
+	// optimizer precomputes.
+	DelayBoundSlots int
+	// Cost is the pricing model (alpha per renegotiation, beta per bit).
+	Cost core.CostModel
+	// Pruning selects the pruning rule; zero value is PruneFull.
+	Pruning Pruning
+	// MaxFrontier, when positive, caps the total number of trellis states
+	// kept per slot; if the cap binds, the lowest-weight states are kept
+	// and Stats.Truncated reports it (the result may then be suboptimal).
+	MaxFrontier int
+	// BufferGridBits, when positive, quantizes buffer occupancies up to the
+	// nearest multiple of this grid. Rounding up is conservative: any
+	// schedule found remains feasible for the true dynamics, at the cost of
+	// a slightly pessimistic occupancy estimate. Quantization bounds the
+	// frontier size and is what makes full-length trace optimizations with
+	// expensive renegotiation tractable; zero keeps the exact continuous
+	// buffer.
+	BufferGridBits float64
+	// RequireDrained, when set, accepts only schedules whose final buffer
+	// occupancy is at most FinalSlackBits — i.e. all data is actually
+	// delivered by the end of the session. The paper's formulation has no
+	// terminal constraint, which lets the optimizer "park" up to B bits in
+	// the buffer forever to shave beta cost; stored-video players want the
+	// buffer drained.
+	RequireDrained bool
+	// FinalSlackBits is the terminal occupancy allowance under
+	// RequireDrained.
+	FinalSlackBits float64
+}
+
+// Stats reports the work done by the optimizer.
+type Stats struct {
+	NodesExpanded int64   // candidate states generated
+	MaxFrontier   int     // largest per-slot surviving state count
+	Cost          float64 // optimal total cost
+	Truncated     bool    // true if MaxFrontier ever bound (result approximate)
+}
+
+// ErrInfeasible is returned when no schedule over the given levels satisfies
+// the buffer or delay constraint.
+var ErrInfeasible = errors.New("trellis: no feasible schedule (peak level too low for buffer)")
+
+// event records one renegotiation (or the initial setup) on a path; parent
+// chains are shared between paths and garbage collected when paths die.
+type event struct {
+	slot   int32
+	rate   int32
+	parent *event
+}
+
+// entry is one surviving trellis state at the current slot: buffer occupancy
+// b and path weight w, with ev the most recent renegotiation event of its
+// path. The rate in force is ev.rate.
+type entry struct {
+	b  float64
+	w  float64
+	ev *event
+}
+
+// Optimize computes the optimal renegotiation schedule for the trace under
+// the options. The first segment's rate choice is free (call setup); each
+// later rate change costs alpha.
+func Optimize(tr *trace.Trace, opt Options) (*core.Schedule, Stats, error) {
+	var st Stats
+	if err := validateOptions(tr, opt); err != nil {
+		return nil, st, err
+	}
+	slotSec := tr.SlotSeconds()
+	K := len(opt.Levels)
+	drain := make([]float64, K)    // bits per slot at each level
+	slotCost := make([]float64, K) // beta cost of one slot at each level
+	for k, r := range opt.Levels {
+		drain[k] = r * slotSec
+		slotCost[k] = opt.Cost.Beta * r * slotSec
+	}
+	caps := bufferCaps(tr, opt)
+	if err := checkFeasible(tr, drain[K-1], caps); err != nil {
+		return nil, st, err
+	}
+
+	fronts := make([][]entry, K) // per-rate frontier: ascending b, descending w
+	spare := make([][]entry, K)  // double buffers
+	var scratch []entry
+
+	for t := 0; t < tr.Len(); t++ {
+		a := float64(tr.FrameBits[t])
+		bcap := caps[t]
+		var global []entry
+		if t > 0 {
+			global = mergeGlobal(fronts, &scratch, opt.Pruning)
+		}
+		var total int
+		for k := 0; k < K; k++ {
+			var nf []entry
+			if t == 0 {
+				b := clampQuantize(a-drain[k], opt.BufferGridBits)
+				if b <= bcap {
+					nf = append(spare[k][:0], entry{
+						b: b, w: slotCost[k],
+						ev: &event{slot: 0, rate: int32(k)},
+					})
+					st.NodesExpanded++
+				} else {
+					nf = spare[k][:0]
+				}
+			} else {
+				nf = advance(spare[k][:0], fronts[k], global, int32(t), a,
+					drain[k], slotCost[k], opt.Cost.Alpha, bcap,
+					opt.BufferGridBits, int32(k), opt.Pruning, &st)
+			}
+			spare[k] = nf
+			total += len(nf)
+		}
+		fronts, spare = spare, fronts
+		if total == 0 {
+			return nil, st, fmt.Errorf("%w: stuck at slot %d", ErrInfeasible, t)
+		}
+		if opt.Pruning == PruneFull {
+			total = crossPrune(fronts, &scratch, opt.Cost.Alpha)
+		}
+		if opt.MaxFrontier > 0 && total > opt.MaxFrontier {
+			total = truncateFrontiers(fronts, opt.MaxFrontier)
+			st.Truncated = true
+		}
+		if total > st.MaxFrontier {
+			st.MaxFrontier = total
+		}
+	}
+
+	best, ok := bestEntry(fronts, opt)
+	if !ok {
+		if opt.RequireDrained {
+			return nil, st, fmt.Errorf("%w: no schedule drains the buffer to %g bits",
+				ErrInfeasible, opt.FinalSlackBits)
+		}
+		return nil, st, ErrInfeasible
+	}
+	st.Cost = best.w
+	return buildSchedule(best.ev, tr.Len(), slotSec, opt.Levels), st, nil
+}
+
+// buildSchedule converts an event chain into a core.Schedule.
+func buildSchedule(ev *event, slots int, slotSec float64, levels []float64) *core.Schedule {
+	var rev []*event
+	for e := ev; e != nil; e = e.parent {
+		rev = append(rev, e)
+	}
+	segs := make([]core.Segment, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		e := rev[i]
+		seg := core.Segment{StartSlot: int(e.slot), Rate: levels[e.rate]}
+		// Defensive merge: consecutive events with equal rates collapse
+		// (cannot happen for alpha > 0 optimal paths, but alpha == 0 paths
+		// may switch to the same rate at zero cost).
+		if n := len(segs); n > 0 && segs[n-1].Rate == seg.Rate {
+			continue
+		}
+		segs = append(segs, seg)
+	}
+	return &core.Schedule{Segments: segs, Slots: slots, SlotSeconds: slotSec}
+}
+
+func validateOptions(tr *trace.Trace, opt Options) error {
+	if tr.Len() == 0 {
+		return fmt.Errorf("trellis: empty trace")
+	}
+	if len(opt.Levels) == 0 {
+		return fmt.Errorf("trellis: no bandwidth levels")
+	}
+	for i, r := range opt.Levels {
+		if r < 0 || math.IsNaN(r) {
+			return fmt.Errorf("trellis: level %d = %g is negative", i, r)
+		}
+		if i > 0 && r <= opt.Levels[i-1] {
+			return fmt.Errorf("trellis: levels not strictly ascending at %d", i)
+		}
+	}
+	if opt.BufferBits < 0 {
+		return fmt.Errorf("trellis: negative buffer")
+	}
+	if opt.Cost.Alpha < 0 || opt.Cost.Beta < 0 {
+		return fmt.Errorf("trellis: negative cost coefficients")
+	}
+	if opt.DelayBoundSlots < 0 {
+		return fmt.Errorf("trellis: negative delay bound")
+	}
+	if opt.BufferGridBits < 0 {
+		return fmt.Errorf("trellis: negative buffer grid")
+	}
+	if opt.FinalSlackBits < 0 {
+		return fmt.Errorf("trellis: negative final slack")
+	}
+	return nil
+}
+
+// bufferCaps returns the per-slot occupancy cap: B, tightened by the delay
+// bound's sliding arrival window when configured.
+func bufferCaps(tr *trace.Trace, opt Options) []float64 {
+	caps := make([]float64, tr.Len())
+	if opt.DelayBoundSlots <= 0 {
+		for t := range caps {
+			caps[t] = opt.BufferBits
+		}
+		return caps
+	}
+	d := opt.DelayBoundSlots
+	var window float64
+	for t := range caps {
+		window += float64(tr.FrameBits[t])
+		if t >= d {
+			window -= float64(tr.FrameBits[t-d])
+		}
+		caps[t] = math.Min(opt.BufferBits, window)
+	}
+	return caps
+}
+
+// checkFeasible verifies that running at the top level forever satisfies
+// every cap, which is necessary and sufficient for feasibility.
+func checkFeasible(tr *trace.Trace, maxDrain float64, caps []float64) error {
+	var q float64
+	for t := 0; t < tr.Len(); t++ {
+		q += float64(tr.FrameBits[t]) - maxDrain
+		if q < 0 {
+			q = 0
+		}
+		if q > caps[t] {
+			return fmt.Errorf("%w: slot %d needs occupancy %g > cap %g",
+				ErrInfeasible, t, q, caps[t])
+		}
+	}
+	return nil
+}
+
+// clampQuantize clamps b at zero and, when grid > 0, rounds it up to the
+// grid (conservative for the buffer constraint).
+func clampQuantize(b, grid float64) float64 {
+	if b < 0 {
+		return 0
+	}
+	if grid > 0 {
+		return math.Ceil(b/grid-1e-12) * grid
+	}
+	return b
+}
+
+// advance generates the new frontier for destination rate k into out:
+// staying candidates from the same-rate frontier plus switching candidates
+// (alpha surcharge, fresh event) from the global frontier, Pareto-merged in
+// ascending-b order.
+func advance(out []entry, same, global []entry, t int32, a, drain, slotCost,
+	alpha, bcap, grid float64, k int32, pr Pruning, st *Stats) []entry {
+
+	i, j := 0, 0
+	minW := math.Inf(1)
+	push := func(b, w float64, ev *event, fresh bool) {
+		st.NodesExpanded++
+		b = clampQuantize(b, grid)
+		if b > bcap {
+			return
+		}
+		switch pr {
+		case PruneExact:
+			if n := len(out); n > 0 && out[n-1].b == b {
+				if out[n-1].w <= w {
+					return
+				}
+				out = out[:n-1]
+			}
+		default:
+			if w >= minW {
+				return
+			}
+			if n := len(out); n > 0 && out[n-1].b == b {
+				out = out[:n-1]
+			}
+			minW = w
+		}
+		if fresh {
+			ev = &event{slot: t, rate: k, parent: ev}
+		}
+		out = append(out, entry{b: b, w: w, ev: ev})
+	}
+	// Both lists are sorted by b ascending; the common shift b+a-drain
+	// preserves order, so a two-way merge visits candidates in ascending
+	// final b.
+	for i < len(same) || j < len(global) {
+		var takeSame bool
+		switch {
+		case j >= len(global):
+			takeSame = true
+		case i >= len(same):
+			takeSame = false
+		default:
+			takeSame = same[i].b <= global[j].b
+		}
+		if takeSame {
+			e := same[i]
+			i++
+			push(e.b+a-drain, e.w+slotCost, e.ev, false)
+		} else {
+			g := global[j]
+			j++
+			if g.ev.rate == k {
+				// The no-alpha version of this candidate comes from the
+				// same-rate list; the alpha version is dominated.
+				continue
+			}
+			push(g.b+a-drain, g.w+slotCost+alpha, g.ev, true)
+		}
+	}
+	return out
+}
+
+// mergeGlobal builds the global Pareto frontier across all rates, used as
+// the source set for rate-switch candidates. Under PruneExact the merge
+// keeps everything (sorted by b) so no cross-rate state is lost.
+func mergeGlobal(fronts [][]entry, scratch *[]entry, pr Pruning) []entry {
+	all := (*scratch)[:0]
+	for _, f := range fronts {
+		all = append(all, f...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].b != all[j].b {
+			return all[i].b < all[j].b
+		}
+		return all[i].w < all[j].w
+	})
+	if pr == PruneExact {
+		*scratch = all
+		return all
+	}
+	out := all[:0]
+	minW := math.Inf(1)
+	for _, e := range all {
+		if e.w < minW {
+			minW = e.w
+			out = append(out, e)
+		}
+	}
+	*scratch = all[:len(out)]
+	return out
+}
+
+// crossPrune applies the cross-rate half of Lemma 1: an entry (b, w, k) is
+// dominated if some entry (b', w', k') has b' <= b and w' + alpha <= w with
+// k' != k. For alpha > 0 the self-domination case is impossible; for
+// alpha == 0 the comparison is made strict, which keeps every global-Pareto
+// member and collapses each frontier onto it (switching is free, so nothing
+// off the global frontier can be optimal). It returns the surviving total.
+func crossPrune(fronts [][]entry, scratch *[]entry, alpha float64) int {
+	global := mergeGlobal(fronts, scratch, PruneFull)
+	if len(global) == 0 {
+		return 0
+	}
+	total := 0
+	for k, f := range fronts {
+		out := f[:0]
+		gi := 0
+		bestW := math.Inf(1)
+		var bestEv *event
+		for _, e := range f {
+			// Advance the global cursor to cover all entries with b <= e.b;
+			// weights descend along b, so the last covered is the minimum.
+			for gi < len(global) && global[gi].b <= e.b {
+				bestW = global[gi].w
+				bestEv = global[gi].ev
+				gi++
+			}
+			var dominated bool
+			if alpha == 0 {
+				// Free switching makes equal-weight states across rates
+				// interchangeable; keep only the global representative.
+				dominated = bestW < e.w || (bestW == e.w && bestEv != e.ev)
+			} else {
+				dominated = bestW+alpha <= e.w
+			}
+			if dominated {
+				continue
+			}
+			out = append(out, e)
+		}
+		fronts[k] = out
+		total += len(out)
+	}
+	return total
+}
+
+// truncateFrontiers keeps the max lowest-weight states overall, preserving
+// each frontier's b-ascending order. Used only when MaxFrontier binds.
+func truncateFrontiers(fronts [][]entry, max int) int {
+	var ws []float64
+	for _, f := range fronts {
+		for _, e := range f {
+			ws = append(ws, e.w)
+		}
+	}
+	sort.Float64s(ws)
+	cut := ws[max-1]
+	total := 0
+	for k, f := range fronts {
+		out := f[:0]
+		for _, e := range f {
+			if e.w <= cut && total < max {
+				out = append(out, e)
+				total++
+			}
+		}
+		fronts[k] = out
+	}
+	return total
+}
+
+// bestEntry returns the minimum-weight final state, honoring the terminal
+// drain constraint when configured.
+func bestEntry(fronts [][]entry, opt Options) (entry, bool) {
+	var best entry
+	found := false
+	for _, f := range fronts {
+		for _, e := range f {
+			if opt.RequireDrained && e.b > opt.FinalSlackBits+1e-9 {
+				continue
+			}
+			if !found || e.w < best.w {
+				best = e
+				found = true
+			}
+		}
+	}
+	return best, found
+}

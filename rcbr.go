@@ -1,0 +1,210 @@
+// Package rcbr implements Renegotiated Constant Bit Rate (RCBR) service, a
+// reproduction of Grossglauser, Keshav & Tse, "RCBR: A Simple and Efficient
+// Service for Multiple Time-Scale Traffic" (ACM SIGCOMM 1995; IEEE/ACM ToN
+// 5(6), 1997).
+//
+// RCBR presents a source with a fixed-size buffer drained at a constant rate
+// the source may renegotiate. Because all traffic entering the network is
+// CBR, switches need only per-port utilization counters and FIFO queueing;
+// renegotiation is a lightweight one-lookup operation. The package provides:
+//
+//   - Trace: frame-size traces of compressed video, with a synthetic
+//     multiple time-scale MPEG generator calibrated to the paper's
+//     Star Wars trace (NewStarWarsTrace).
+//   - Schedule: a piecewise-CBR renegotiation schedule with the paper's
+//     cost model, bandwidth-efficiency and feasibility checks.
+//   - Optimize: the optimal offline schedule (Section IV-A), a Viterbi-like
+//     shortest path over the (time, rate, buffer) trellis with the paper's
+//     Lemma-1 pruning.
+//   - RunHeuristic: the causal online schedule (Section IV-B), an AR(1)
+//     estimator with buffer thresholds on a rate grid.
+//   - Source: the per-source buffer abstraction at the network entry.
+//   - Switch + signaling: a software RCBR switch with ATM-style RM-cell
+//     renegotiation, servable over UDP (NewSwitch, NewSignalServer,
+//     DialSwitch).
+//   - Admission control: the Chernoff-based schemes of Section VI
+//     (perfect-knowledge, memoryless MBAC, memory-based MBAC).
+//
+// The reproduction of every figure in the paper's evaluation lives in
+// cmd/rcbrsim; see DESIGN.md and EXPERIMENTS.md.
+package rcbr
+
+import (
+	"log"
+	"time"
+
+	"rcbr/internal/admission"
+	"rcbr/internal/bookahead"
+	"rcbr/internal/core"
+	"rcbr/internal/fit"
+	"rcbr/internal/heuristic"
+	"rcbr/internal/ld"
+	"rcbr/internal/netproto"
+	"rcbr/internal/shaper"
+	"rcbr/internal/stats"
+	"rcbr/internal/switchfab"
+	"rcbr/internal/trace"
+	"rcbr/internal/trellis"
+)
+
+// Core types, re-exported.
+type (
+	// Trace is a frame-size trace at a fixed frame rate.
+	Trace = trace.Trace
+	// TraceConfig parameterizes the synthetic trace generator.
+	TraceConfig = trace.Config
+	// SceneClass is one slow time-scale scene type of the generator.
+	SceneClass = trace.SceneClass
+
+	// Schedule is a piecewise-CBR renegotiation schedule.
+	Schedule = core.Schedule
+	// Segment is one constant-rate piece of a Schedule.
+	Segment = core.Segment
+	// CostModel prices renegotiations (Alpha) and allocation (Beta).
+	CostModel = core.CostModel
+	// Source is the RCBR buffer abstraction at the network entry.
+	Source = core.Source
+
+	// OptimizeOptions configures the offline optimal schedule.
+	OptimizeOptions = trellis.Options
+	// OptimizeStats reports the optimizer's work.
+	OptimizeStats = trellis.Stats
+
+	// HeuristicParams configures the online heuristic.
+	HeuristicParams = heuristic.Params
+	// HeuristicResult reports an online run.
+	HeuristicResult = heuristic.Result
+	// Predictor estimates the source rate online.
+	Predictor = heuristic.Predictor
+	// Negotiator is the network side of an online renegotiation.
+	Negotiator = heuristic.Negotiator
+
+	// Switch is a software RCBR switch.
+	Switch = switchfab.Switch
+	// SignalServer serves RCBR signaling over UDP.
+	SignalServer = netproto.Server
+	// SignalClient signals an RCBR switch over UDP.
+	SignalClient = netproto.Client
+
+	// AdmissionController decides call admission (Section VI).
+	AdmissionController = admission.Controller
+	// RateDist is a finite per-call bandwidth distribution.
+	RateDist = ld.Dist
+
+	// TokenBucket is the one-shot descriptor baseline of Section II.
+	TokenBucket = shaper.TokenBucket
+	// Calendar admits whole time-varying rate profiles in advance
+	// (Section III-A.2 book-ahead reservations).
+	Calendar = bookahead.Calendar
+	// FittedModel is a multiple time-scale Markov model estimated from a
+	// trace.
+	FittedModel = fit.Model
+)
+
+// NewStarWarsTrace generates the repository's calibrated stand-in for the
+// paper's MPEG-1 Star Wars trace: frames <= 0 yields the full two hours at
+// 24 frames/s with mean rate 374 kb/s.
+func NewStarWarsTrace(seed uint64, frames int) *Trace {
+	if frames <= 0 {
+		return trace.SyntheticStarWars(seed)
+	}
+	return trace.SyntheticStarWarsFrames(seed, frames)
+}
+
+// GenerateTrace synthesizes a trace from an explicit configuration.
+func GenerateTrace(cfg TraceConfig, seed uint64) (*Trace, error) {
+	return trace.Synthesize(cfg, stats.NewRNG(seed))
+}
+
+// LoadTrace reads a trace file (binary RCBT or text).
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// UniformLevels returns n bandwidth levels evenly spaced on [lo, hi].
+func UniformLevels(lo, hi float64, n int) []float64 {
+	return stats.UniformLevels(lo, hi, n)
+}
+
+// GridLevels returns the multiples of delta covering (0, max].
+func GridLevels(delta, max float64) []float64 { return stats.GridLevels(delta, max) }
+
+// Optimize computes the optimal offline renegotiation schedule
+// (Section IV-A).
+func Optimize(tr *Trace, opts OptimizeOptions) (*Schedule, OptimizeStats, error) {
+	return trellis.Optimize(tr, opts)
+}
+
+// DefaultHeuristicParams returns the paper's Fig. 2 online parameters for a
+// bandwidth granularity.
+func DefaultHeuristicParams(granularity float64) HeuristicParams {
+	return heuristic.DefaultParams(granularity)
+}
+
+// RunHeuristic drives a trace through the online heuristic (Section IV-B)
+// with a buffer of B bits. A nil negotiator grants every request.
+func RunHeuristic(tr *Trace, bufferBits float64, p HeuristicParams, n Negotiator) (HeuristicResult, error) {
+	return heuristic.Run(tr, bufferBits, p, n)
+}
+
+// NewSource returns an RCBR source buffer of B bits with the given slot
+// duration and initial negotiated rate.
+func NewSource(bufferBits, slotSec, initialRate float64) *Source {
+	return core.NewSource(bufferBits, slotSec, initialRate)
+}
+
+// NewSwitch returns a software RCBR switch; a nil admitter admits every
+// call that fits.
+func NewSwitch(admitter switchfab.Admitter) *Switch { return switchfab.New(admitter) }
+
+// NewSignalServer binds a UDP signaling server for a switch. The logger may
+// be nil.
+func NewSignalServer(addr string, sw *Switch, logger *log.Logger) (*SignalServer, error) {
+	return netproto.NewServer(addr, sw, logger)
+}
+
+// DialSwitch connects a signaling client to an RCBR switch daemon.
+func DialSwitch(addr string, timeout time.Duration, retries int) (*SignalClient, error) {
+	return netproto.Dial(addr, timeout, retries)
+}
+
+// NewPerfectAdmission returns the perfect-knowledge Chernoff admission
+// controller of Section VI.
+func NewPerfectAdmission(dist RateDist, capacity, targetFailure float64) (AdmissionController, error) {
+	return admission.NewPerfectKnowledge(dist, capacity, targetFailure)
+}
+
+// NewMemorylessAdmission returns the snapshot-based MBAC of Section VI.
+func NewMemorylessAdmission(levels []float64, capacity, targetFailure float64) (AdmissionController, error) {
+	return admission.NewMemoryless(levels, capacity, targetFailure)
+}
+
+// NewMemoryAdmission returns the history-accumulating MBAC of Section VI.
+func NewMemoryAdmission(levels []float64, capacity, targetFailure float64) (AdmissionController, error) {
+	return admission.NewMemory(levels, capacity, targetFailure)
+}
+
+// ScheduleDescriptor converts a schedule into its per-call bandwidth
+// distribution over the given levels — the traffic descriptor used by the
+// admission controllers.
+func ScheduleDescriptor(s *Schedule, levels []float64) RateDist {
+	h := s.Descriptor(levels)
+	return RateDist{P: h.Probabilities(), X: h.Levels()}
+}
+
+// NewTokenBucket returns a full token bucket with the given rate (bits/s)
+// and depth (bits).
+func NewTokenBucket(rate, depth float64) *TokenBucket { return shaper.New(rate, depth) }
+
+// BurstinessDepth returns b*(r): the minimal token-bucket depth making the
+// trace conformant at token rate r (Section II's burstiness curve).
+func BurstinessDepth(tr *Trace, rate float64) float64 { return shaper.MinDepth(tr, rate) }
+
+// NewCalendar returns an advance-reservation calendar for a link of the
+// given capacity.
+func NewCalendar(capacity float64) *Calendar { return bookahead.NewCalendar(capacity) }
+
+// FitTraceModel estimates a multiple time-scale Markov model from a trace
+// with the default classes and smoothing window; the model feeds the
+// large-deviations machinery (effective bandwidths, Chernoff estimates).
+func FitTraceModel(tr *Trace) (*FittedModel, error) {
+	return fit.Fit(tr, fit.DefaultOptions(tr))
+}

@@ -1,0 +1,169 @@
+package rcbr_test
+
+import (
+	"testing"
+	"time"
+
+	"rcbr"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way a
+// downstream user would: trace -> offline schedule -> verification, online
+// heuristic, a switch over UDP, and admission control.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tr := rcbr.NewStarWarsTrace(1, 2400)
+	if tr.Len() != 2400 {
+		t.Fatalf("trace len %d", tr.Len())
+	}
+
+	const buffer = 300e3
+	levels := rcbr.UniformLevels(48e3, 5e6, 16)
+	sch, st, err := rcbr.Optimize(tr, rcbr.OptimizeOptions{
+		Levels:         levels,
+		BufferBits:     buffer,
+		BufferGridBits: buffer / 2048,
+		Cost:           rcbr.CostModel{Alpha: 3e5, Beta: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cost <= 0 || sch.Renegotiations() == 0 {
+		t.Fatalf("degenerate schedule: %+v", st)
+	}
+	if !sch.Feasible(tr, buffer) {
+		t.Fatal("optimal schedule infeasible")
+	}
+
+	hres, err := rcbr.RunHeuristic(tr, buffer, rcbr.DefaultHeuristicParams(64e3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Schedule.Renegotiations() == 0 {
+		t.Fatal("heuristic never renegotiated")
+	}
+
+	// A switch over UDP loopback.
+	sw := rcbr.NewSwitch(nil)
+	if err := sw.AddPort(1, 10e6); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rcbr.NewSignalServer("127.0.0.1:0", sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve() //nolint:errcheck
+	cl, err := rcbr.DialSwitch(srv.Addr().String(), 200*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Setup(1, 1, sch.Segments[0].Rate); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.Renegotiate(1, sch.Segments[0].Rate, 1e6); err != nil || !ok {
+		t.Fatalf("renegotiate: %v ok=%v", err, ok)
+	}
+	if err := cl.Teardown(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Admission control over the schedule's descriptor.
+	dist := rcbr.ScheduleDescriptor(sch, levels)
+	pk, err := rcbr.NewPerfectAdmission(dist, 20*sch.MeanRate(), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk.Admit(0, dist.X[0]) {
+		t.Fatal("empty system rejected")
+	}
+	if _, err := rcbr.NewMemorylessAdmission(levels, 1e7, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rcbr.NewMemoryAdmission(levels, 1e7, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// A Source stepping under the granted schedule.
+	src := rcbr.NewSource(buffer, tr.SlotSeconds(), sch.Segments[0].Rate)
+	rates := sch.Rates()
+	for i := 0; i < tr.Len(); i++ {
+		src.SetRate(rates[i])
+		src.Step(float64(tr.FrameBits[i]))
+	}
+	if src.LostBits() != 0 {
+		t.Fatalf("source lost %v bits under the optimal schedule", src.LostBits())
+	}
+}
+
+func TestGenerateTraceCustomConfig(t *testing.T) {
+	cfg := rcbr.TraceConfig{
+		Frames:   1200,
+		FPS:      30,
+		MeanRate: 1e6,
+		GOP:      "IBBP",
+		IWeight:  2.5, PWeight: 1.2, BWeight: 0.7,
+		Classes: []rcbr.SceneClass{
+			{Name: "calm", Multiplier: 0.8, MeanDurSec: 5, Weight: 0.7, GOPFactor: 1},
+			{Name: "busy", Multiplier: 1.5, MeanDurSec: 5, Weight: 0.3, GOPFactor: 0.8},
+		},
+		ARCoeff: 0.7,
+		ARSigma: 0.1,
+	}
+	tr, err := rcbr.GenerateTrace(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FPS != 30 || tr.Len() != 1200 {
+		t.Fatalf("trace %v/%d", tr.FPS, tr.Len())
+	}
+	mean := tr.MeanRate()
+	if mean < 0.98e6 || mean > 1.02e6 {
+		t.Fatalf("mean %v", mean)
+	}
+}
+
+func TestGridLevels(t *testing.T) {
+	lv := rcbr.GridLevels(64e3, 1e6)
+	if lv[0] != 64e3 {
+		t.Fatalf("levels %v", lv[:2])
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	tr := rcbr.NewStarWarsTrace(2, 4800)
+
+	// Token bucket and burstiness curve.
+	tb := rcbr.NewTokenBucket(1e6, 1e5)
+	if !tb.Take(5e4) {
+		t.Fatal("take failed")
+	}
+	d := rcbr.BurstinessDepth(tr, 1.2*tr.MeanRate())
+	if d <= 0 {
+		t.Fatalf("burstiness depth %v", d)
+	}
+
+	// Advance reservations.
+	cal := rcbr.NewCalendar(10e6)
+	sch, _, err := rcbr.Optimize(tr, rcbr.OptimizeOptions{
+		Levels:         rcbr.UniformLevels(48e3, 5e6, 10),
+		BufferBits:     300e3,
+		BufferGridBits: 300e3 / 2048,
+		Cost:           rcbr.CostModel{Alpha: 1e6, Beta: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.Book(0, sch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Model fitting.
+	model, err := rcbr.FitTraceModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.ClassMeans) < 2 {
+		t.Fatalf("model classes %v", model.ClassMeans)
+	}
+}
