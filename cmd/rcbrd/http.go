@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"rcbr/internal/metrics"
+	"rcbr/internal/switchfab"
+)
+
+// newHTTPHandler serves the daemon's observability endpoints:
+//
+//	GET /metrics  the registry snapshot (counters, gauges, histograms) as JSON
+//	GET /vcs      the established-VC table plus the retained event trace
+//
+// Both are read-only views; neither perturbs the signaling path beyond the
+// instruments it already updates.
+func newHTTPHandler(reg *metrics.Registry, sw *switchfab.Switch, ring *metrics.EventRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/vcs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		resp := vcsResponse{VCs: sw.VCs()}
+		if ring != nil {
+			resp.TotalEvents = ring.Total()
+			resp.Events = ring.Events()
+		}
+		writeJSON(w, resp)
+	})
+	return mux
+}
+
+// vcsResponse is the /vcs payload: the live VC table and the recent per-VC
+// lifecycle events (oldest first).
+type vcsResponse struct {
+	VCs         []switchfab.VCInfo `json:"vcs"`
+	TotalEvents uint64             `json:"total_events"`
+	Events      []metrics.Event    `json:"events,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}

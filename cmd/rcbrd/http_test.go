@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rcbr/internal/metrics"
+	"rcbr/internal/netproto"
+	"rcbr/internal/switchfab"
+)
+
+// TestEndpointsShowSignalingActivity is the daemon's acceptance test: a
+// scripted setup -> renegotiate -> teardown sequence over the real UDP
+// signaling path must be visible in /metrics (counters increment, the port
+// gauge returns to zero) and /vcs (VC table while up, event trace after).
+func TestEndpointsShowSignalingActivity(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ring := metrics.NewEventRing(64)
+	sw := switchfab.New(switchfab.WithMetrics(reg), switchfab.WithEventTrace(ring))
+	if err := addPorts(sw, "1:10e6"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netproto.NewServer("127.0.0.1:0", sw, netproto.WithServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve() //nolint:errcheck
+
+	web := httptest.NewServer(newHTTPHandler(reg, sw, ring))
+	defer web.Close()
+
+	ctx := context.Background()
+	cl, err := netproto.Dial(srv.Addr().String(), netproto.WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Setup(ctx, 7, 1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.Renegotiate(ctx, 7, 1e6, 2e6); err != nil || !ok {
+		t.Fatalf("renegotiate: ok=%v err=%v", ok, err)
+	}
+
+	// Mid-session: /vcs lists the VC at its renegotiated rate, /metrics shows
+	// the port's reserved gauge carrying it.
+	// The RM cell's 16-bit rate encoding quantizes the renegotiated rate, so
+	// compare within its ~0.4% resolution.
+	near := func(got, want float64) bool { return math.Abs(got-want)/want <= 1.0/256 }
+	var vcs vcsWire
+	getJSON(t, web.URL+"/vcs", &vcs)
+	if len(vcs.VCs) != 1 || vcs.VCs[0].VCI != 7 || !near(vcs.VCs[0].Rate, 2e6) {
+		t.Fatalf("/vcs mid-session: %+v", vcs.VCs)
+	}
+	var snap metrics.Snapshot
+	getJSON(t, web.URL+"/metrics", &snap)
+	if got := snap.Gauges[switchfab.PortReservedGauge(1)]; !near(got, 2e6) {
+		t.Fatalf("reserved gauge mid-session = %v, want ~2e6", got)
+	}
+
+	if err := cl.Teardown(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	getJSON(t, web.URL+"/metrics", &snap)
+	for name, want := range map[string]int64{
+		switchfab.MetricSetups:    1,
+		switchfab.MetricRenegs:    1,
+		switchfab.MetricGrants:    1,
+		switchfab.MetricTeardowns: 1,
+		netproto.MetricServerRx:   3,
+		netproto.MetricServerTx:   3,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges[switchfab.PortReservedGauge(1)]; got != 0 {
+		t.Errorf("reserved gauge after teardown = %v, want 0", got)
+	}
+	if got := snap.Gauges[switchfab.PortCapacityGauge(1)]; got != 10e6 {
+		t.Errorf("capacity gauge = %v, want 10e6", got)
+	}
+	if snap.Histograms[switchfab.MetricRenegLatency].Count != 1 {
+		t.Errorf("latency histogram count = %d, want 1",
+			snap.Histograms[switchfab.MetricRenegLatency].Count)
+	}
+
+	// The event trace tells the VC's life story in order.
+	getJSON(t, web.URL+"/vcs", &vcs)
+	if len(vcs.VCs) != 0 {
+		t.Errorf("/vcs after teardown: %+v", vcs.VCs)
+	}
+	if vcs.TotalEvents != 3 {
+		t.Errorf("total events = %d, want 3", vcs.TotalEvents)
+	}
+	var kinds []string
+	for _, ev := range vcs.Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{"setup", "renegotiate-grant", "teardown"}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+// vcsWire mirrors the /vcs response schema as an HTTP client decodes it
+// (events arrive with string kinds, so the production structs don't apply).
+type vcsWire struct {
+	VCs         []switchfab.VCInfo `json:"vcs"`
+	TotalEvents uint64             `json:"total_events"`
+	Events      []struct {
+		Seq  uint64 `json:"seq"`
+		Kind string `json:"kind"`
+		VCI  uint16 `json:"vci"`
+	} `json:"events"`
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}

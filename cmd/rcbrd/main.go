@@ -5,33 +5,45 @@
 // Usage:
 //
 //	rcbrd [-listen 127.0.0.1:4059] [-ports "1:155e6,2:155e6"] [-v]
+//	      [-http 127.0.0.1:8059] [-events 256]
 //
-// Each port spec is id:capacity with capacity in bits/second.
+// Each port spec is id:capacity with capacity in bits/second. With -http, the
+// daemon additionally serves GET /metrics (the JSON metrics snapshot: per-port
+// reserved/capacity gauges, setup/renegotiation/teardown counters, latency
+// histograms) and GET /vcs (the established-VC table plus the last -events
+// per-VC lifecycle events).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
 
+	"rcbr/internal/metrics"
 	"rcbr/internal/netproto"
 	"rcbr/internal/switchfab"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:4059", "UDP listen address")
-		ports   = flag.String("ports", "1:155e6", "comma-separated port specs id:capacity")
-		verbose = flag.Bool("v", false, "log signaling errors")
+		listen   = flag.String("listen", "127.0.0.1:4059", "UDP listen address")
+		ports    = flag.String("ports", "1:155e6", "comma-separated port specs id:capacity")
+		verbose  = flag.Bool("v", false, "log signaling errors")
+		httpAddr = flag.String("http", "", "serve /metrics and /vcs on this TCP address (empty disables)")
+		events   = flag.Int("events", 256, "per-VC lifecycle events retained for /vcs")
 	)
 	flag.Parse()
 
-	sw := switchfab.New(nil)
+	reg := metrics.NewRegistry()
+	ring := metrics.NewEventRing(*events)
+	sw := switchfab.New(switchfab.WithMetrics(reg), switchfab.WithEventTrace(ring))
 	if err := addPorts(sw, *ports); err != nil {
 		fatal(err)
 	}
@@ -40,11 +52,27 @@ func main() {
 	if *verbose {
 		logger = log.New(os.Stderr, "rcbrd ", log.LstdFlags|log.Lmicroseconds)
 	}
-	srv, err := netproto.NewServer(*listen, sw, logger)
+	srv, err := netproto.NewServer(*listen, sw,
+		netproto.WithLogger(logger), netproto.WithServerMetrics(reg))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("rcbrd: listening on %s\n", srv.Addr())
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rcbrd: http on %s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, newHTTPHandler(reg, sw, ring)); err != nil {
+				if logger != nil {
+					logger.Printf("http: %v", err)
+				}
+			}
+		}()
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve() }()

@@ -9,6 +9,7 @@
 //	rcbrsim fig8  [-frames N] [-seed S]            memoryless MBAC utilization
 //	rcbrsim fig9  [-frames N] [-seed S]            memory MBAC (extension)
 //	rcbrsim analysis                               eqs. (9)-(11) on Fig. 4 model
+//	rcbrsim signal [-n N] [-json out.json]         online sources over a live UDP switch
 //
 // Full-length runs (-frames 0 selects the whole two-hour trace) reproduce
 // the paper's setup; shorter traces keep the shapes with less wall time.
@@ -64,6 +65,8 @@ func main() {
 		err = fitModel(args)
 	case "rvbr":
 		err = rvbrCompare(args)
+	case "signal":
+		err = signalRun(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,7 +82,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `rcbrsim regenerates the RCBR paper's figures.
-commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 datapath latency chernoff fit rvbr
+commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 datapath latency chernoff fit rvbr signal
 run "rcbrsim <command> -h" for per-command flags`)
 }
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -46,14 +47,16 @@ func main() {
 	defer srv.Close()
 	go srv.Serve() //nolint:errcheck // exits via Close
 
-	cl, err := netproto.Dial(srv.Addr().String(), 300*time.Millisecond, 3)
+	cl, err := netproto.Dial(srv.Addr().String(),
+		netproto.WithTimeout(300*time.Millisecond), netproto.WithRetries(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 
 	// Call setup at one granularity step.
-	if err := cl.Setup(vci, portID, granularity); err != nil {
+	if err := cl.Setup(ctx, vci, portID, granularity); err != nil {
 		log.Fatal(err)
 	}
 	// A competing CBR call holds most of the link for the middle third of
@@ -68,7 +71,7 @@ func main() {
 	params.GrantTolerance = 1.0 / 128 // 16-bit RM rate quantization
 	buf := core.NewSource(bufferBits, src.SlotSeconds(), granularity)
 	negotiate := heuristic.NegotiatorFunc(func(current, requested float64) float64 {
-		granted, _, err := cl.Renegotiate(vci, current, requested)
+		granted, _, err := cl.Renegotiate(ctx, vci, current, requested)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,13 +96,13 @@ func main() {
 	for t := 0; t < src.Len(); t++ {
 		switch t {
 		case third:
-			if err := cl.Setup(backgroundVC, portID, background); err != nil {
+			if err := cl.Setup(ctx, backgroundVC, portID, background); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("t=%6.1fs  background call takes %.1f Mb/s: link squeezed\n",
 				float64(t)*src.SlotSeconds(), background/1e6)
 		case 2 * third:
-			if err := cl.Teardown(backgroundVC); err != nil {
+			if err := cl.Teardown(ctx, backgroundVC); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("t=%6.1fs  background call departs: link relaxed\n",
@@ -130,7 +133,7 @@ func main() {
 			maxOcc = buf.Occupancy()
 		}
 	}
-	if err := cl.Teardown(vci); err != nil {
+	if err := cl.Teardown(ctx, vci); err != nil {
 		log.Fatal(err)
 	}
 

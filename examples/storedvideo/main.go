@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -59,15 +60,17 @@ func main() {
 	defer srv.Close()
 	go srv.Serve() //nolint:errcheck // exits via Close
 
-	cl, err := netproto.Dial(srv.Addr().String(), 300*time.Millisecond, 3)
+	cl, err := netproto.Dial(srv.Addr().String(),
+		netproto.WithTimeout(300*time.Millisecond), netproto.WithRetries(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 
 	// Call setup at the schedule's initial rate (the heavyweight path).
 	events := sch.Events()
-	if err := cl.Setup(vci, portID, events[0].Rate); err != nil {
+	if err := cl.Setup(ctx, vci, portID, events[0].Rate); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("t=%7.2fs  SETUP   rate %7.0f b/s\n", 0.0, events[0].Rate)
@@ -80,7 +83,7 @@ func main() {
 		if signalAt < 0 {
 			signalAt = 0
 		}
-		got, ok, err := cl.Renegotiate(vci, cur, ev.Rate)
+		got, ok, err := cl.Renegotiate(ctx, vci, cur, ev.Rate)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -97,7 +100,7 @@ func main() {
 	}
 
 	// Teardown and accounting.
-	if err := cl.Teardown(vci); err != nil {
+	if err := cl.Teardown(ctx, vci); err != nil {
 		log.Fatal(err)
 	}
 	st := sw.Stats()

@@ -1,0 +1,43 @@
+package admission
+
+import "rcbr/internal/metrics"
+
+// AdmitCounter returns the admit-counter name for a policy.
+func AdmitCounter(name string) string { return "admission." + name + ".admits" }
+
+// RejectCounter returns the reject-counter name for a policy.
+func RejectCounter(name string) string { return "admission." + name + ".rejects" }
+
+// instrumented wraps a Controller and counts its admit/reject decisions in a
+// metrics registry, keyed by the scheme's name. Lifecycle notifications pass
+// through untouched.
+type instrumented struct {
+	Controller
+	admits  *metrics.Counter
+	rejects *metrics.Counter
+}
+
+// Instrument wraps c so every Admit decision increments an
+// "admission.<name>.admits" or "admission.<name>.rejects" counter in reg.
+// A nil registry returns c unchanged.
+func Instrument(c Controller, reg *metrics.Registry) Controller {
+	if reg == nil || c == nil {
+		return c
+	}
+	return &instrumented{
+		Controller: c,
+		admits:     reg.Counter(AdmitCounter(c.Name())),
+		rejects:    reg.Counter(RejectCounter(c.Name())),
+	}
+}
+
+// Admit implements Controller, counting the decision.
+func (i *instrumented) Admit(now, initialRate float64) bool {
+	ok := i.Controller.Admit(now, initialRate)
+	if ok {
+		i.admits.Inc()
+	} else {
+		i.rejects.Inc()
+	}
+	return ok
+}

@@ -1,0 +1,63 @@
+package admission
+
+import (
+	"testing"
+
+	"rcbr/internal/metrics"
+)
+
+// gated admits the first n calls and rejects the rest; it records lifecycle
+// notifications so the passthrough can be asserted.
+type gated struct {
+	n       int
+	seen    int
+	admits  int
+	departs int
+}
+
+func (g *gated) Admit(_, _ float64) bool                     { g.seen++; return g.seen <= g.n }
+func (g *gated) OnAdmit(int, float64, float64)               { g.admits++ }
+func (g *gated) OnRateChange(int, float64, float64, float64) {}
+func (g *gated) OnDepart(int, float64, float64)              { g.departs++ }
+func (g *gated) Name() string                                { return "gated" }
+
+func TestInstrumentCountsDecisions(t *testing.T) {
+	reg := metrics.NewRegistry()
+	inner := &gated{n: 3}
+	c := Instrument(inner, reg)
+	if c.Name() != "gated" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	for i := 0; i < 5; i++ {
+		ok := c.Admit(float64(i), 100e3)
+		if ok != (i < 3) {
+			t.Fatalf("call %d: admit = %v", i, ok)
+		}
+		if ok {
+			c.OnAdmit(i, float64(i), 100e3)
+		}
+	}
+	c.OnDepart(0, 10, 100e3)
+
+	s := reg.Snapshot()
+	if got := s.Counters[AdmitCounter("gated")]; got != 3 {
+		t.Fatalf("admits = %d, want 3", got)
+	}
+	if got := s.Counters[RejectCounter("gated")]; got != 2 {
+		t.Fatalf("rejects = %d, want 2", got)
+	}
+	// Lifecycle notifications must reach the wrapped controller.
+	if inner.admits != 3 || inner.departs != 1 {
+		t.Fatalf("passthrough: admits=%d departs=%d", inner.admits, inner.departs)
+	}
+}
+
+func TestInstrumentNilRegistryIsIdentity(t *testing.T) {
+	inner := &gated{n: 1}
+	if c := Instrument(inner, nil); c != Controller(inner) {
+		t.Fatal("nil registry should return the controller unchanged")
+	}
+	if c := Instrument(nil, metrics.NewRegistry()); c != nil {
+		t.Fatal("nil controller should pass through")
+	}
+}

@@ -23,7 +23,19 @@ import (
 	"math"
 
 	"rcbr/internal/core"
+	"rcbr/internal/metrics"
 	"rcbr/internal/trace"
+)
+
+// Metric names exposed by the heuristic controller when Params.Metrics is
+// set.
+const (
+	MetricTriggers      = "heuristic.renegotiation_triggers"
+	MetricFailures      = "heuristic.renegotiation_failures"
+	MetricHighCrossings = "heuristic.highwater_crossings"
+	MetricLowCrossings  = "heuristic.lowwater_crossings"
+	MetricRateGauge     = "heuristic.rate_bps"
+	MetricOccupancy     = "heuristic.occupancy_bits"
 )
 
 // Predictor produces a smoothed estimate of the source rate from per-slot
@@ -165,6 +177,10 @@ type Params struct {
 	// cmd/rcbrsim supplies. While a request is in flight no further
 	// request is issued (one outstanding renegotiation per source).
 	SignalDelaySlots int
+	// Metrics, when non-nil, receives the controller's renegotiation
+	// trigger/failure counters, buffer threshold-crossing counters, and
+	// rate/occupancy gauges.
+	Metrics *metrics.Registry
 }
 
 // DefaultParams returns the paper's Fig. 2 heuristic parameters with the
@@ -218,6 +234,17 @@ type Result struct {
 	MaxOccupancy float64
 }
 
+// instruments caches the controller's registry handles; every field is a
+// nil-safe no-op when Params.Metrics is unset.
+type instruments struct {
+	triggers  *metrics.Counter
+	failures  *metrics.Counter
+	highCross *metrics.Counter
+	lowCross  *metrics.Counter
+	rate      *metrics.Gauge
+	occupancy *metrics.Gauge
+}
+
 // Controller runs the heuristic online against a Source. Use Run for the
 // common trace-driven case.
 type Controller struct {
@@ -225,6 +252,11 @@ type Controller struct {
 	pred   Predictor
 	net    Negotiator
 	src    *core.Source
+	ins    instruments
+
+	// prevOcc is the previous slot's buffer occupancy, for edge-triggered
+	// threshold-crossing counters.
+	prevOcc float64
 
 	// In-flight renegotiation under SignalDelaySlots: the granted rate and
 	// the slot countdown until it takes effect (-1 when idle).
@@ -245,7 +277,19 @@ func NewController(src *core.Source, p Params, net Negotiator) (*Controller, err
 	if pred == nil {
 		pred = &AR1{Coeff: p.ARCoeff}
 	}
-	return &Controller{params: p, pred: pred, net: net, src: src, pendingSlots: -1}, nil
+	c := &Controller{params: p, pred: pred, net: net, src: src, pendingSlots: -1}
+	if reg := p.Metrics; reg != nil {
+		c.ins = instruments{
+			triggers:  reg.Counter(MetricTriggers),
+			failures:  reg.Counter(MetricFailures),
+			highCross: reg.Counter(MetricHighCrossings),
+			lowCross:  reg.Counter(MetricLowCrossings),
+			rate:      reg.Gauge(MetricRateGauge),
+			occupancy: reg.Gauge(MetricOccupancy),
+		}
+		c.ins.rate.Set(src.Rate())
+	}
+	return c, nil
 }
 
 // Step feeds one slot of arrivals through the source and applies the
@@ -265,6 +309,16 @@ func (c *Controller) Step(arrivalBits float64) (rate float64, attempted, failed 
 	x := arrivalBits / c.src.SlotSeconds()
 	est := c.pred.Observe(x)
 	b := c.src.Occupancy()
+	// Edge-triggered threshold crossings: count entries into the high and
+	// low regions, not dwell time there.
+	if b > c.params.HighWater && c.prevOcc <= c.params.HighWater {
+		c.ins.highCross.Inc()
+	}
+	if b < c.params.LowWater && c.prevOcc >= c.params.LowWater {
+		c.ins.lowCross.Inc()
+	}
+	c.prevOcc = b
+	c.ins.occupancy.Set(b)
 	if !c.params.DisableFlushTerm {
 		est += b / (c.params.FlushSlots * c.src.SlotSeconds())
 	}
@@ -278,9 +332,11 @@ func (c *Controller) Step(arrivalBits float64) (rate float64, attempted, failed 
 	if !inFlight &&
 		((b > c.params.HighWater && u > curQ) || (b < c.params.LowWater && u < curQ)) {
 		attempted = true
+		c.ins.triggers.Inc()
 		granted := c.net.Negotiate(cur, u)
 		if granted < u*(1-c.params.GrantTolerance) {
 			failed = true
+			c.ins.failures.Inc()
 		}
 		if granted >= 0 {
 			if c.params.SignalDelaySlots == 0 {
@@ -291,6 +347,7 @@ func (c *Controller) Step(arrivalBits float64) (rate float64, attempted, failed 
 			}
 		}
 	}
+	c.ins.rate.Set(c.src.Rate())
 	return c.src.Rate(), attempted, failed
 }
 

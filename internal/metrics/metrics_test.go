@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("counter not cached by name")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", DefBuckets)
+	var ring *EventRing
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	ring.Record(Event{Kind: EventSetup})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || ring.Total() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if ring.Events() != nil {
+		t.Fatal("nil ring must return no events")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	r := NewRegistry()
+	r.mu.Lock()
+	r.histograms["h"] = h
+	r.mu.Unlock()
+	hs := r.Snapshot().Histograms["h"]
+	want := []int64{2, 1, 1, 2} // (<=1)=0.5,1; (<=10)=5; (<=100)=50; overflow=500,5000
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+	if hs.Count != 6 {
+		t.Fatalf("count = %d", hs.Count)
+	}
+	if math.Abs(hs.Sum-5556.5) > 1e-9 {
+		t.Fatalf("sum = %v", hs.Sum)
+	}
+	if m := hs.Mean(); math.Abs(m-5556.5/6) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	bs := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("buckets %v", bs)
+		}
+	}
+	if ExpBuckets(0, 2, 4) != nil || ExpBuckets(1, 1, 4) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Fatal("degenerate bucket specs must return nil")
+	}
+}
+
+// TestConcurrentInstruments hammers one registry from many goroutines; run
+// under -race this is the data-race check, and the totals must balance.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("level")
+			h := r.Histogram("lat", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%2) * 0.75)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared"] != workers*perWorker {
+		t.Fatalf("counter = %d", s.Counters["shared"])
+	}
+	if s.Gauges["level"] != 0 {
+		t.Fatalf("gauge = %v", s.Gauges["level"])
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != workers*perWorker {
+		t.Fatalf("hist count = %d", hs.Count)
+	}
+	if hs.Counts[0]+hs.Counts[1] != hs.Count {
+		t.Fatalf("buckets %v do not sum to count %d", hs.Counts, hs.Count)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h", []float64{1}).Observe(2)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["c"] != 3 || got.Gauges["g"] != 1.25 || got.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestEventRingWrapAround(t *testing.T) {
+	ring := NewEventRing(3)
+	for i := 1; i <= 5; i++ {
+		ring.Record(Event{Kind: EventRenegGrant, VCI: uint16(i), Rate: float64(i)})
+	}
+	if ring.Total() != 5 {
+		t.Fatalf("total = %d", ring.Total())
+	}
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, want := range []uint16{3, 4, 5} {
+		if evs[i].VCI != want || evs[i].Seq != uint64(want) {
+			t.Fatalf("event %d = %+v, want vci %d", i, evs[i], want)
+		}
+	}
+	if !evs[0].Time.Before(evs[2].Time) && !evs[0].Time.Equal(evs[2].Time) {
+		t.Fatal("events out of time order")
+	}
+}
+
+func TestEventRingPartialFill(t *testing.T) {
+	ring := NewEventRing(8)
+	ring.Record(Event{Kind: EventSetup, VCI: 9, Port: 1, Rate: 1e5})
+	ring.Record(Event{Kind: EventTeardown, VCI: 9, Port: 1})
+	evs := ring.Events()
+	if len(evs) != 2 || evs[0].Kind != EventSetup || evs[1].Kind != EventTeardown {
+		t.Fatalf("events %+v", evs)
+	}
+}
+
+func TestEventJSONSchema(t *testing.T) {
+	ring := NewEventRing(4)
+	ring.Record(Event{
+		Time: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		Kind: EventRenegDeny, VCI: 7, Port: 2, Rate: 100e3, Requested: 300e3,
+	})
+	var buf bytes.Buffer
+	if err := ring.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"total_events": 1`, `"kind": "renegotiate-deny"`, `"vci": 7`,
+		`"port": 2`, `"rate_bps": 100000`, `"requested_bps": 300000`,
+		`"time": "2026-08-06T12:00:00Z"`, `"seq": 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// A grant omits requested_bps.
+	ring.Record(Event{Kind: EventRenegGrant, VCI: 7, Port: 2, Rate: 300e3})
+	buf.Reset()
+	if err := ring.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "requested_bps") != 1 {
+		t.Fatal("requested_bps must be omitted when zero")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	names := map[EventKind]string{
+		EventSetup:       "setup",
+		EventSetupReject: "setup-reject",
+		EventRenegGrant:  "renegotiate-grant",
+		EventRenegDeny:   "renegotiate-deny",
+		EventResync:      "resync",
+		EventTeardown:    "teardown",
+		EventKind(99):    "unknown",
+		EventKind(0):     "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

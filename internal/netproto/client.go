@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -8,10 +9,39 @@ import (
 	"time"
 
 	"rcbr/internal/cell"
+	"rcbr/internal/metrics"
 )
 
+// Metric names exposed by the signaling client.
+const (
+	MetricClientRequests = "signal.client.requests"
+	MetricClientSent     = "signal.client.datagrams_sent"
+	MetricClientRecv     = "signal.client.replies_received"
+	MetricClientRetries  = "signal.client.retries"
+	MetricClientTimeouts = "signal.client.timeouts"
+	MetricClientRMSent   = "signal.client.rm_cells_sent"
+	MetricClientRMRecv   = "signal.client.rm_cells_received"
+	MetricClientRTT      = "signal.client.rtt_seconds"
+)
+
+// clientInstruments caches the client's registry handles; every field is a
+// nil-safe no-op when metrics are disabled.
+type clientInstruments struct {
+	requests *metrics.Counter
+	sent     *metrics.Counter
+	recv     *metrics.Counter
+	retries  *metrics.Counter
+	timeouts *metrics.Counter
+	rmSent   *metrics.Counter
+	rmRecv   *metrics.Counter
+	rtt      *metrics.Histogram
+}
+
 // Client signals an RCBR switch daemon over UDP. It is safe for concurrent
-// use; requests are serialized on the single socket.
+// use; requests are serialized on the single socket. Every request method
+// takes a context for cancellation and deadlines: the context bounds the
+// whole request including retransmissions, while the per-attempt reply
+// timeout (WithTimeout) paces the retries within it.
 type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
@@ -20,60 +50,144 @@ type Client struct {
 	nextID  uint32
 	nextSeq uint32
 	buf     []byte
+	ins     clientInstruments
 }
 
 // ErrTimeout is returned when a request exhausts its retries.
 var ErrTimeout = errors.New("netproto: request timed out")
 
-// ErrRemote wraps an error string reported by the switch.
+// ErrRemote wraps an error reported by the switch. Remote errors carry the
+// switch's sentinel across the wire, so errors.Is(err, switchfab.ErrCapacity)
+// and friends work on the client side too.
 var ErrRemote = errors.New("netproto: remote error")
 
-// Dial connects to a switch daemon. timeout is the per-attempt reply
-// deadline (default 500ms); retries is the number of additional attempts
+// ClientOption configures a Client at dial time. A nil ClientOption is
+// ignored.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-attempt reply deadline (default 500ms).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithRetries sets the number of additional attempts after the first
 // (default 3).
-func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
-	conn, err := net.Dial("udp", addr)
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithClientMetrics publishes the client's signaling counters (datagrams
+// sent/received, retries, timeouts, RM cells) and round-trip histogram into
+// reg.
+func WithClientMetrics(reg *metrics.Registry) ClientOption {
+	return func(c *Client) {
+		if reg == nil {
+			return
+		}
+		c.ins = clientInstruments{
+			requests: reg.Counter(MetricClientRequests),
+			sent:     reg.Counter(MetricClientSent),
+			recv:     reg.Counter(MetricClientRecv),
+			retries:  reg.Counter(MetricClientRetries),
+			timeouts: reg.Counter(MetricClientTimeouts),
+			rmSent:   reg.Counter(MetricClientRMSent),
+			rmRecv:   reg.Counter(MetricClientRMRecv),
+			rtt:      reg.Histogram(MetricClientRTT, metrics.DefBuckets),
+		}
+	}
+}
+
+// Dial connects to a switch daemon with default settings (500ms per-attempt
+// timeout, 3 retries) unless overridden by options.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
+}
+
+// DialContext is Dial honoring the context during address resolution and
+// socket setup.
+func DialContext(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", addr)
 	if err != nil {
 		return nil, err
 	}
-	if timeout <= 0 {
-		timeout = 500 * time.Millisecond
-	}
-	if retries < 0 {
-		retries = 3
-	}
-	return &Client{
+	c := &Client{
 		conn:    conn,
-		timeout: timeout,
-		retries: retries,
+		timeout: 500 * time.Millisecond,
+		retries: 3,
 		buf:     make([]byte, maxFrame),
-	}, nil
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(c)
+		}
+	}
+	return c, nil
 }
 
 // Close releases the socket.
 func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends the datagram and waits for a frame echoing reqID,
-// retransmitting on timeout. resend generates the datagram for each attempt
-// (attempt 0 is the original), letting callers switch to an idempotent
-// encoding for retries.
-func (c *Client) roundTrip(reqID uint32, resend func(attempt int) ([]byte, error)) (Frame, error) {
+// retransmitting on timeout, until ctx is done or the retries are
+// exhausted. resend generates the datagram for each attempt (attempt 0 is
+// the original), letting callers switch to an idempotent encoding for
+// retries. rm marks RM-cell traffic for the metrics split.
+func (c *Client) roundTrip(ctx context.Context, reqID uint32, rm bool, resend func(attempt int) ([]byte, error)) (Frame, error) {
+	c.ins.requests.Inc()
+	if ctx.Done() != nil {
+		// Wake a blocking read when the context fires; the read error path
+		// below sees ctx.Err() and surfaces it.
+		stop := context.AfterFunc(ctx, func() {
+			c.conn.SetReadDeadline(time.Now()) //nolint:errcheck
+		})
+		defer stop()
+	}
 	for attempt := 0; attempt <= c.retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Frame{}, err
+		}
+		if attempt > 0 {
+			c.ins.retries.Inc()
+		}
 		pkt, err := resend(attempt)
 		if err != nil {
 			return Frame{}, err
 		}
+		sentAt := time.Now()
 		if _, err := c.conn.Write(pkt); err != nil {
+			if ctx.Err() != nil {
+				return Frame{}, ctx.Err()
+			}
 			return Frame{}, err
 		}
-		deadline := time.Now().Add(c.timeout)
+		c.ins.sent.Inc()
+		if rm {
+			c.ins.rmSent.Inc()
+		}
+		deadline := sentAt.Add(c.timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
 				return Frame{}, err
 			}
 			n, err := c.conn.Read(c.buf)
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return Frame{}, cerr
+				}
 				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					c.ins.timeouts.Inc()
 					break // next attempt
 				}
 				return Frame{}, err
@@ -85,6 +199,11 @@ func (c *Client) roundTrip(reqID uint32, resend func(attempt int) ([]byte, error
 			if f.ReqID != reqID {
 				continue // stale reply from an earlier attempt
 			}
+			c.ins.recv.Inc()
+			if rm {
+				c.ins.rmRecv.Inc()
+			}
+			c.ins.rtt.ObserveSince(sentAt)
 			// Copy the payload out of the shared buffer.
 			payload := make([]byte, len(f.Payload))
 			copy(payload, f.Payload)
@@ -101,12 +220,12 @@ func (c *Client) newID() uint32 {
 }
 
 // Setup establishes a VC on the switch.
-func (c *Client) Setup(vci uint16, port int, rate float64) error {
+func (c *Client) Setup(ctx context.Context, vci uint16, port int, rate float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.newID()
 	pkt := EncodeSetup(id, SetupReq{VCI: vci, Port: uint16(port), Rate: rate})
-	f, err := c.roundTrip(id, func(int) ([]byte, error) { return pkt, nil })
+	f, err := c.roundTrip(ctx, id, false, func(int) ([]byte, error) { return pkt, nil })
 	if err != nil {
 		return err
 	}
@@ -114,19 +233,19 @@ func (c *Client) Setup(vci uint16, port int, rate float64) error {
 	case TypeSetupOK:
 		return nil
 	case TypeErr:
-		return fmt.Errorf("%w: %s", ErrRemote, f.Payload)
+		return remoteError(f.Payload)
 	default:
 		return fmt.Errorf("%w: unexpected reply type %d", ErrFrame, f.Type)
 	}
 }
 
 // Teardown releases a VC.
-func (c *Client) Teardown(vci uint16) error {
+func (c *Client) Teardown(ctx context.Context, vci uint16) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.newID()
 	pkt := EncodeTeardown(id, vci)
-	f, err := c.roundTrip(id, func(int) ([]byte, error) { return pkt, nil })
+	f, err := c.roundTrip(ctx, id, false, func(int) ([]byte, error) { return pkt, nil })
 	if err != nil {
 		return err
 	}
@@ -134,7 +253,7 @@ func (c *Client) Teardown(vci uint16) error {
 	case TypeTeardownOK:
 		return nil
 	case TypeErr:
-		return fmt.Errorf("%w: %s", ErrRemote, f.Payload)
+		return remoteError(f.Payload)
 	default:
 		return fmt.Errorf("%w: unexpected reply type %d", ErrFrame, f.Type)
 	}
@@ -144,12 +263,12 @@ func (c *Client) Teardown(vci uint16) error {
 // the VC, using a delta RM cell on the first attempt and idempotent resync
 // cells on retries (a lost delta must not be applied twice). It returns the
 // rate now in force and whether the request was granted in full.
-func (c *Client) Renegotiate(vci uint16, current, target float64) (granted float64, ok bool, err error) {
+func (c *Client) Renegotiate(ctx context.Context, vci uint16, current, target float64) (granted float64, ok bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.newID()
 	h := cell.Header{VCI: vci}
-	f, err := c.roundTrip(id, func(attempt int) ([]byte, error) {
+	f, err := c.roundTrip(ctx, id, true, func(attempt int) ([]byte, error) {
 		c.nextSeq++
 		if attempt == 0 {
 			delta := target - current
@@ -171,12 +290,12 @@ func (c *Client) Renegotiate(vci uint16, current, target float64) (granted float
 }
 
 // Resync asserts the VC's absolute rate (periodic drift repair).
-func (c *Client) Resync(vci uint16, rate float64) (granted float64, ok bool, err error) {
+func (c *Client) Resync(ctx context.Context, vci uint16, rate float64) (granted float64, ok bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.newID()
 	h := cell.Header{VCI: vci}
-	f, err := c.roundTrip(id, func(int) ([]byte, error) {
+	f, err := c.roundTrip(ctx, id, true, func(int) ([]byte, error) {
 		c.nextSeq++
 		return EncodeRM(id, h, cell.RM{Resync: true, ER: rate, Seq: c.nextSeq})
 	})
@@ -195,8 +314,32 @@ func (c *Client) parseRMReply(f Frame) (float64, bool, error) {
 		}
 		return m.ER, !m.Deny, nil
 	case TypeErr:
-		return 0, false, fmt.Errorf("%w: %s", ErrRemote, f.Payload)
+		return 0, false, remoteError(f.Payload)
 	default:
 		return 0, false, fmt.Errorf("%w: unexpected reply type %d", ErrFrame, f.Type)
 	}
+}
+
+// wireError is a remote failure reconstructed from an Err payload: its text
+// is the remote message, and it unwraps to both ErrRemote and the sentinel
+// decoded from the wire code (so errors.Is(err, switchfab.ErrCapacity)
+// holds across the network).
+type wireError struct {
+	sentinel error // may be nil for generic remote errors
+	msg      string
+}
+
+func (e *wireError) Error() string { return "netproto: remote error: " + e.msg }
+
+func (e *wireError) Unwrap() []error {
+	if e.sentinel == nil {
+		return []error{ErrRemote}
+	}
+	return []error{ErrRemote, e.sentinel}
+}
+
+// remoteError rebuilds a client-side error from an Err payload.
+func remoteError(payload []byte) error {
+	code, msg := DecodeErr(payload)
+	return &wireError{sentinel: codeSentinel(code), msg: msg}
 }

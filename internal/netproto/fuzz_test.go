@@ -13,7 +13,7 @@ func FuzzServerHandle(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeSetup(1, SetupReq{VCI: 1, Port: 1, Rate: 1e5}))
 	f.Add(EncodeTeardown(2, 1))
-	f.Add(EncodeErr(3, "x"))
+	f.Add(EncodeErr(3, ErrCodeGeneric, "x"))
 	f.Add([]byte{Magic, Version, 99, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sw := switchfab.New(nil)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"rcbr/internal/metrics"
 	"rcbr/internal/switchfab"
 )
 
@@ -110,16 +111,18 @@ func TestRetriesSurvivePacketLoss(t *testing.T) {
 	// Drop every other request datagram: every operation's first attempt
 	// may vanish, forcing the retry path.
 	proxy := newLossyProxy(t, srv.Addr().String(), func(i int) bool { return i%2 == 0 })
-	cl, err := Dial(proxy.Addr(), 100*time.Millisecond, 5)
+	reg := metrics.NewRegistry()
+	cl, err := Dial(proxy.Addr(),
+		WithTimeout(100*time.Millisecond), WithRetries(5), WithClientMetrics(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 
-	if err := cl.Setup(3, 1, 128e3); err != nil {
+	if err := cl.Setup(ctx, 3, 1, 128e3); err != nil {
 		t.Fatalf("setup through lossy path: %v", err)
 	}
-	granted, ok, err := cl.Renegotiate(3, 128e3, 256e3)
+	granted, ok, err := cl.Renegotiate(ctx, 3, 128e3, 256e3)
 	if err != nil || !ok {
 		t.Fatalf("renegotiate through lossy path: %v %v %v", granted, ok, err)
 	}
@@ -128,11 +131,31 @@ func TestRetriesSurvivePacketLoss(t *testing.T) {
 	if r, _ := sw.VCRate(3); math.Abs(r-256e3)/256e3 > 1.0/256 {
 		t.Fatalf("switch rate = %v after lossy renegotiation", r)
 	}
-	if err := cl.Teardown(3); err != nil {
+	if err := cl.Teardown(ctx, 3); err != nil {
 		t.Fatalf("teardown through lossy path: %v", err)
 	}
 	if sw.VCCount() != 0 {
 		t.Fatal("VC not torn down")
+	}
+
+	// The loss must be visible in the client's signaling metrics: dropped
+	// attempts time out and are retried, and the RM books stay balanced.
+	s := reg.Snapshot()
+	if s.Counters[MetricClientTimeouts] == 0 || s.Counters[MetricClientRetries] == 0 {
+		t.Fatalf("lossy path recorded no timeouts/retries: %+v", s.Counters)
+	}
+	if s.Counters[MetricClientRequests] != 3 {
+		t.Fatalf("requests = %d, want 3", s.Counters[MetricClientRequests])
+	}
+	if sent := s.Counters[MetricClientSent]; sent <= 3 {
+		t.Fatalf("datagrams sent = %d, want > requests under loss", sent)
+	}
+	if s.Counters[MetricClientRMRecv] != 1 || s.Counters[MetricClientRMSent] < 1 {
+		t.Fatalf("rm sent/recv = %d/%d",
+			s.Counters[MetricClientRMSent], s.Counters[MetricClientRMRecv])
+	}
+	if s.Histograms[MetricClientRTT].Count != 3 {
+		t.Fatalf("rtt observations = %d, want 3", s.Histograms[MetricClientRTT].Count)
 	}
 }
 
@@ -165,18 +188,18 @@ func TestDeltaNotAppliedTwiceUnderLoss(t *testing.T) {
 		}
 		return false
 	})
-	cl, err := Dial(proxy.Addr(), 100*time.Millisecond, 5)
+	cl, err := Dial(proxy.Addr(), WithTimeout(100*time.Millisecond), WithRetries(5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Setup(9, 1, 100e3); err != nil {
+	if err := cl.Setup(ctx, 9, 1, 100e3); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
 	dropNext = true // the delta cell will be lost
 	mu.Unlock()
-	granted, ok, err := cl.Renegotiate(9, 100e3, 300e3)
+	granted, ok, err := cl.Renegotiate(ctx, 9, 100e3, 300e3)
 	if err != nil || !ok {
 		t.Fatalf("renegotiate: %v %v %v", granted, ok, err)
 	}

@@ -1,14 +1,17 @@
 package netproto
 
 import (
+	"context"
 	"errors"
 	"math"
+	"net"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"rcbr/internal/cell"
+	"rcbr/internal/metrics"
 	"rcbr/internal/switchfab"
 )
 
@@ -86,11 +89,14 @@ func TestErrTruncation(t *testing.T) {
 	for i := range long {
 		long[i] = 'x'
 	}
-	b := EncodeErr(1, string(long))
+	b := EncodeErr(1, ErrCodeCapacity, string(long))
 	if len(b) > maxFrame {
 		t.Fatalf("error frame %d bytes exceeds max %d", len(b), maxFrame)
 	}
 }
+
+// ctx is the default request context for the end-to-end tests.
+var ctx = context.Background()
 
 // startServer spins up a switch + server on loopback.
 func startServer(t *testing.T, capacity float64) (*switchfab.Switch, *Server, *Client) {
@@ -105,7 +111,7 @@ func startServer(t *testing.T, capacity float64) (*switchfab.Switch, *Server, *C
 	}
 	go srv.Serve() //nolint:errcheck // exits via Close
 	t.Cleanup(func() { srv.Close() })
-	cl, err := Dial(srv.Addr().String(), 200*time.Millisecond, 2)
+	cl, err := Dial(srv.Addr().String(), WithTimeout(200*time.Millisecond), WithRetries(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,20 +121,20 @@ func startServer(t *testing.T, capacity float64) (*switchfab.Switch, *Server, *C
 
 func TestEndToEndSetupRenegotiateTeardown(t *testing.T) {
 	sw, _, cl := startServer(t, 1e6)
-	if err := cl.Setup(42, 1, 128e3); err != nil {
+	if err := cl.Setup(ctx, 42, 1, 128e3); err != nil {
 		t.Fatal(err)
 	}
 	if r, _ := sw.VCRate(42); r != 128e3 {
 		t.Fatalf("rate after setup = %v", r)
 	}
-	granted, ok, err := cl.Renegotiate(42, 128e3, 256e3)
+	granted, ok, err := cl.Renegotiate(ctx, 42, 128e3, 256e3)
 	if err != nil || !ok {
 		t.Fatalf("renegotiate: %v %v %v", granted, ok, err)
 	}
 	if math.Abs(granted-256e3)/256e3 > 1.0/256 {
 		t.Fatalf("granted = %v", granted)
 	}
-	if err := cl.Teardown(42); err != nil {
+	if err := cl.Teardown(ctx, 42); err != nil {
 		t.Fatal(err)
 	}
 	if sw.VCCount() != 0 {
@@ -138,13 +144,13 @@ func TestEndToEndSetupRenegotiateTeardown(t *testing.T) {
 
 func TestEndToEndDenial(t *testing.T) {
 	_, _, cl := startServer(t, 500e3)
-	if err := cl.Setup(1, 1, 256e3); err != nil {
+	if err := cl.Setup(ctx, 1, 1, 256e3); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Setup(2, 1, 128e3); err != nil {
+	if err := cl.Setup(ctx, 2, 1, 128e3); err != nil {
 		t.Fatal(err)
 	}
-	granted, ok, err := cl.Renegotiate(1, 256e3, 512e3)
+	granted, ok, err := cl.Renegotiate(ctx, 1, 256e3, 512e3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,10 +164,10 @@ func TestEndToEndDenial(t *testing.T) {
 
 func TestEndToEndResync(t *testing.T) {
 	sw, _, cl := startServer(t, 1e6)
-	if err := cl.Setup(7, 1, 100e3); err != nil {
+	if err := cl.Setup(ctx, 7, 1, 100e3); err != nil {
 		t.Fatal(err)
 	}
-	granted, ok, err := cl.Resync(7, 300e3)
+	granted, ok, err := cl.Resync(ctx, 7, 300e3)
 	if err != nil || !ok {
 		t.Fatalf("resync: %v %v %v", granted, ok, err)
 	}
@@ -173,38 +179,38 @@ func TestEndToEndResync(t *testing.T) {
 func TestRemoteErrors(t *testing.T) {
 	_, _, cl := startServer(t, 1e6)
 	// Renegotiating a nonexistent VC returns a remote error.
-	if _, _, err := cl.Renegotiate(99, 0, 100e3); !errors.Is(err, ErrRemote) {
+	if _, _, err := cl.Renegotiate(ctx, 99, 0, 100e3); !errors.Is(err, ErrRemote) {
 		t.Fatalf("missing VC: %v", err)
 	}
 	// Setting up on a nonexistent port.
-	if err := cl.Setup(1, 9, 1e5); !errors.Is(err, ErrRemote) {
+	if err := cl.Setup(ctx, 1, 9, 1e5); !errors.Is(err, ErrRemote) {
 		t.Fatalf("missing port: %v", err)
 	}
 	// Over-capacity setup.
-	if err := cl.Setup(1, 1, 2e6); !errors.Is(err, ErrRemote) {
+	if err := cl.Setup(ctx, 1, 1, 2e6); !errors.Is(err, ErrRemote) {
 		t.Fatalf("over capacity: %v", err)
 	}
 }
 
 func TestIdempotentRetransmissions(t *testing.T) {
 	sw, _, cl := startServer(t, 1e6)
-	if err := cl.Setup(5, 1, 100e3); err != nil {
+	if err := cl.Setup(ctx, 5, 1, 100e3); err != nil {
 		t.Fatal(err)
 	}
 	// A duplicate setup at the same rate acks (simulating a retry whose
 	// first attempt's reply was lost).
-	if err := cl.Setup(5, 1, 100e3); err != nil {
+	if err := cl.Setup(ctx, 5, 1, 100e3); err != nil {
 		t.Fatalf("duplicate setup not idempotent: %v", err)
 	}
 	// A different rate is a genuine conflict.
-	if err := cl.Setup(5, 1, 200e3); !errors.Is(err, ErrRemote) {
+	if err := cl.Setup(ctx, 5, 1, 200e3); !errors.Is(err, ErrRemote) {
 		t.Fatalf("conflicting setup accepted: %v", err)
 	}
-	if err := cl.Teardown(5); err != nil {
+	if err := cl.Teardown(ctx, 5); err != nil {
 		t.Fatal(err)
 	}
 	// Re-teardown acks idempotently.
-	if err := cl.Teardown(5); err != nil {
+	if err := cl.Teardown(ctx, 5); err != nil {
 		t.Fatalf("duplicate teardown not idempotent: %v", err)
 	}
 	_ = sw
@@ -218,13 +224,13 @@ func TestClientTimeout(t *testing.T) {
 	}
 	addr := hole.Addr().String()
 	hole.Close() // nothing listens anymore
-	cl, err := Dial(addr, 50*time.Millisecond, 1)
+	cl, err := Dial(addr, WithTimeout(50*time.Millisecond), WithRetries(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 	start := time.Now()
-	err = cl.Setup(1, 1, 1e5)
+	err = cl.Setup(ctx, 1, 1, 1e5)
 	// ICMP unreachable may surface as a socket error rather than a
 	// timeout; both are acceptable failure modes, but it must not hang.
 	if err == nil {
@@ -260,27 +266,27 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(vci uint16) {
 			defer wg.Done()
-			cl, err := Dial(srvAddr, 300*time.Millisecond, 3)
+			cl, err := Dial(srvAddr, WithTimeout(300*time.Millisecond), WithRetries(3))
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer cl.Close()
-			if err := cl.Setup(vci, 1, 100e3); err != nil {
+			if err := cl.Setup(ctx, vci, 1, 100e3); err != nil {
 				errs <- err
 				return
 			}
 			cur := 100e3
 			for k := 0; k < 20; k++ {
 				target := 100e3 + float64(k%5)*50e3
-				granted, _, err := cl.Renegotiate(vci, cur, target)
+				granted, _, err := cl.Renegotiate(ctx, vci, cur, target)
 				if err != nil {
 					errs <- err
 					return
 				}
 				cur = granted
 			}
-			errs <- cl.Teardown(vci)
+			errs <- cl.Teardown(ctx, vci)
 		}(uint16(i + 1))
 	}
 	wg.Wait()
@@ -315,5 +321,165 @@ func TestRMCodecThroughFrames(t *testing.T) {
 	}
 	if _, _, err := DecodeRM([]byte{1, 2, 3}); !errors.Is(err, ErrFrame) {
 		t.Errorf("short RM: %v", err)
+	}
+}
+
+// TestWireErrorSentinels checks that a remote failure keeps its sentinel
+// identity across the UDP hop: the client-side error matches both ErrRemote
+// and the switch sentinel under errors.Is.
+func TestWireErrorSentinels(t *testing.T) {
+	_, _, cl := startServer(t, 1e6)
+	err := cl.Setup(ctx, 1, 1, 2e6) // over capacity
+	if !errors.Is(err, ErrRemote) || !errors.Is(err, switchfab.ErrCapacity) {
+		t.Fatalf("over-capacity setup error %v must match ErrRemote and ErrCapacity", err)
+	}
+	if err := cl.Setup(ctx, 1, 9, 1e5); !errors.Is(err, switchfab.ErrNoPort) {
+		t.Fatalf("missing port error %v must match ErrNoPort", err)
+	}
+	if _, _, err := cl.Renegotiate(ctx, 99, 0, 1e5); !errors.Is(err, switchfab.ErrNoVC) {
+		t.Fatalf("missing VC error %v must match ErrNoVC", err)
+	}
+	if err := cl.Setup(ctx, 2, 1, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Setup(ctx, 2, 1, 5e5); !errors.Is(err, switchfab.ErrVCExists) {
+		t.Fatalf("conflicting setup error %v must match ErrVCExists", err)
+	}
+}
+
+func TestErrCodecRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{
+		switchfab.ErrCapacity, switchfab.ErrAdmission, switchfab.ErrNoVC,
+		switchfab.ErrNoPort, switchfab.ErrVCExists, switchfab.ErrInvalidRate,
+	} {
+		code := errCode(sentinel)
+		if code == ErrCodeGeneric {
+			t.Fatalf("%v has no wire code", sentinel)
+		}
+		if got := codeSentinel(code); got != sentinel {
+			t.Fatalf("code %d decodes to %v, want %v", code, got, sentinel)
+		}
+	}
+	if errCode(errors.New("anything else")) != ErrCodeGeneric {
+		t.Fatal("unknown errors must map to the generic code")
+	}
+	if codeSentinel(ErrCodeGeneric) != nil || codeSentinel(200) != nil {
+		t.Fatal("generic/unknown codes must decode to no sentinel")
+	}
+	code, msg := DecodeErr(nil)
+	if code != ErrCodeGeneric || msg != "" {
+		t.Fatalf("empty payload decoded as (%d, %q)", code, msg)
+	}
+}
+
+// TestContextDeadline bounds a request against a black hole with a context
+// deadline far shorter than the retry budget.
+func TestContextDeadline(t *testing.T) {
+	hole, err := NewServer("127.0.0.1:0", switchfab.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := hole.Addr().String()
+	hole.Close() // nothing listens anymore
+	cl, err := Dial(addr, WithTimeout(2*time.Second), WithRetries(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = cl.Setup(dctx, 1, 1, 1e5)
+	// ICMP unreachable may surface as a socket error before the deadline;
+	// otherwise the context must cut the 20-second retry budget short.
+	if err == nil {
+		t.Fatal("expected failure against closed server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("context deadline ignored: took %v (err %v)", elapsed, err)
+	}
+}
+
+// TestContextCancelMidFlight cancels a request while the client blocks on a
+// read; the call must return promptly with context.Canceled.
+func TestContextCancelMidFlight(t *testing.T) {
+	// A raw socket that swallows datagrams without replying keeps the
+	// client blocked in its read loop (no ICMP unreachable).
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			if _, _, err := sink.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+	cl, err := Dial(sink.LocalAddr().String(),
+		WithTimeout(10*time.Second), WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = cl.Renegotiate(cctx, 1, 0, 1e5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not unblock the read promptly")
+	}
+}
+
+// TestServerMetrics counts one scripted exchange on the server side.
+func TestServerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sw := switchfab.New()
+	if err := sw.AddPort(1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", sw, WithServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve() //nolint:errcheck
+	cl, err := Dial(srv.Addr().String(), WithTimeout(200*time.Millisecond), WithRetries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Setup(ctx, 4, 1, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Renegotiate(ctx, 4, 1e5, 2e5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Teardown(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Setup(ctx, 5, 1, 9e6); !errors.Is(err, switchfab.ErrCapacity) {
+		t.Fatalf("over-capacity setup: %v", err)
+	}
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		MetricServerRx:        4,
+		MetricServerTx:        4,
+		MetricServerSetups:    2,
+		MetricServerTeardowns: 1,
+		MetricServerRM:        1,
+		MetricServerErrors:    1,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Fatalf("%s = %d, want %d (all: %+v)", name, got, want, s.Counters)
+		}
 	}
 }

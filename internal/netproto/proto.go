@@ -13,6 +13,11 @@
 // on timeout the client falls back to a resync cell carrying the absolute
 // target rate, which is safe to repeat (footnote 2's drift repair doubles as
 // the retry mechanism).
+//
+// Error replies (TypeErr) carry a one-byte error code ahead of the message
+// text, mapping the switch's sentinel errors onto the wire so clients can
+// match them with errors.Is; version 2 of the framing introduced the code
+// byte.
 package netproto
 
 import (
@@ -22,12 +27,13 @@ import (
 	"math"
 
 	"rcbr/internal/cell"
+	"rcbr/internal/switchfab"
 )
 
 // Wire constants.
 const (
 	Magic   = 0xC5
-	Version = 1
+	Version = 2
 
 	headerLen = 7
 	maxFrame  = 512
@@ -134,13 +140,65 @@ func EncodeOK(typ uint8, reqID uint32) []byte {
 	return appendHeader(make([]byte, 0, headerLen), typ, reqID)
 }
 
-// EncodeErr builds an error reply carrying a message string.
-func EncodeErr(reqID uint32, msg string) []byte {
-	if len(msg) > maxFrame-headerLen {
-		msg = msg[:maxFrame-headerLen]
+// Error codes carried in the first byte of an Err payload. They mirror the
+// switch's sentinel errors so a remote failure keeps its identity across
+// the wire.
+const (
+	ErrCodeGeneric uint8 = iota
+	ErrCodeCapacity
+	ErrCodeAdmission
+	ErrCodeNoVC
+	ErrCodeNoPort
+	ErrCodeVCExists
+	ErrCodeInvalidRate
+	ErrCodeProto
+)
+
+// wireSentinels pairs each non-generic code with its sentinel; the table
+// drives both directions of the mapping.
+var wireSentinels = map[uint8]error{
+	ErrCodeCapacity:    switchfab.ErrCapacity,
+	ErrCodeAdmission:   switchfab.ErrAdmission,
+	ErrCodeNoVC:        switchfab.ErrNoVC,
+	ErrCodeNoPort:      switchfab.ErrNoPort,
+	ErrCodeVCExists:    switchfab.ErrVCExists,
+	ErrCodeInvalidRate: switchfab.ErrInvalidRate,
+	ErrCodeProto:       ErrFrame,
+}
+
+// errCode maps an error onto its wire code (ErrCodeGeneric when no sentinel
+// matches).
+func errCode(err error) uint8 {
+	for code, sentinel := range wireSentinels {
+		if errors.Is(err, sentinel) {
+			return code
+		}
 	}
-	b := appendHeader(make([]byte, 0, headerLen+len(msg)), TypeErr, reqID)
+	return ErrCodeGeneric
+}
+
+// codeSentinel maps a wire code back to its sentinel, or nil for
+// ErrCodeGeneric and unknown codes.
+func codeSentinel(code uint8) error { return wireSentinels[code] }
+
+// EncodeErr builds an error reply carrying an error code and a message
+// string.
+func EncodeErr(reqID uint32, code uint8, msg string) []byte {
+	if len(msg) > maxFrame-headerLen-1 {
+		msg = msg[:maxFrame-headerLen-1]
+	}
+	b := appendHeader(make([]byte, 0, headerLen+1+len(msg)), TypeErr, reqID)
+	b = append(b, code)
 	return append(b, msg...)
+}
+
+// DecodeErr splits an Err payload into its code and message. An empty
+// payload decodes as a generic error.
+func DecodeErr(p []byte) (code uint8, msg string) {
+	if len(p) == 0 {
+		return ErrCodeGeneric, ""
+	}
+	return p[0], string(p[1:])
 }
 
 // EncodeRM builds a renegotiation datagram wrapping a full RM cell.

@@ -6,28 +6,88 @@ import (
 	"net"
 	"sync"
 
+	"rcbr/internal/metrics"
 	"rcbr/internal/switchfab"
 )
+
+// Metric names exposed by the signaling server.
+const (
+	MetricServerRx        = "signal.server.datagrams_received"
+	MetricServerTx        = "signal.server.replies_sent"
+	MetricServerBadFrames = "signal.server.bad_frames"
+	MetricServerSetups    = "signal.server.setup_requests"
+	MetricServerTeardowns = "signal.server.teardown_requests"
+	MetricServerRM        = "signal.server.rm_requests"
+	MetricServerErrors    = "signal.server.error_replies"
+)
+
+// serverInstruments caches the server's registry handles; nil fields are
+// no-ops.
+type serverInstruments struct {
+	rx        *metrics.Counter
+	tx        *metrics.Counter
+	badFrames *metrics.Counter
+	setups    *metrics.Counter
+	teardowns *metrics.Counter
+	rm        *metrics.Counter
+	errors    *metrics.Counter
+}
 
 // Server serves RCBR signaling over UDP for one switch.
 type Server struct {
 	sw   *switchfab.Switch
 	conn net.PacketConn
 	log  *log.Logger
+	ins  serverInstruments
 
 	mu     sync.Mutex
 	closed bool
 	done   chan struct{}
 }
 
+// ServerOption configures a Server at construction time. A nil ServerOption
+// is ignored (so legacy call sites passing a nil logger positionally keep
+// compiling).
+type ServerOption func(*Server)
+
+// WithLogger directs signaling errors to logger; the default discards them.
+func WithLogger(logger *log.Logger) ServerOption {
+	return func(s *Server) { s.log = logger }
+}
+
+// WithServerMetrics publishes the server's datagram and per-request-type
+// counters into reg.
+func WithServerMetrics(reg *metrics.Registry) ServerOption {
+	return func(s *Server) {
+		if reg == nil {
+			return
+		}
+		s.ins = serverInstruments{
+			rx:        reg.Counter(MetricServerRx),
+			tx:        reg.Counter(MetricServerTx),
+			badFrames: reg.Counter(MetricServerBadFrames),
+			setups:    reg.Counter(MetricServerSetups),
+			teardowns: reg.Counter(MetricServerTeardowns),
+			rm:        reg.Counter(MetricServerRM),
+			errors:    reg.Counter(MetricServerErrors),
+		}
+	}
+}
+
 // NewServer binds a UDP listener on addr (e.g. "127.0.0.1:0") for the given
-// switch. logger may be nil to disable logging.
-func NewServer(addr string, sw *switchfab.Switch, logger *log.Logger) (*Server, error) {
+// switch.
+func NewServer(addr string, sw *switchfab.Switch, opts ...ServerOption) (*Server, error) {
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{sw: sw, conn: conn, log: logger, done: make(chan struct{})}, nil
+	s := &Server{sw: sw, conn: conn, done: make(chan struct{})}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(s)
+		}
+	}
+	return s, nil
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -50,13 +110,24 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
+		s.ins.rx.Inc()
 		reply := s.handle(buf[:n])
 		if reply != nil {
-			if _, err := s.conn.WriteTo(reply, from); err != nil && s.log != nil {
-				s.log.Printf("netproto: write to %v: %v", from, err)
+			if _, err := s.conn.WriteTo(reply, from); err != nil {
+				if s.log != nil {
+					s.log.Printf("netproto: write to %v: %v", from, err)
+				}
+			} else {
+				s.ins.tx.Inc()
 			}
 		}
 	}
+}
+
+// errReply builds an error reply carrying err's wire code, counting it.
+func (s *Server) errReply(reqID uint32, err error) []byte {
+	s.ins.errors.Inc()
+	return EncodeErr(reqID, errCode(err), err.Error())
 }
 
 // handle processes one datagram and returns the reply (nil to stay silent,
@@ -64,6 +135,7 @@ func (s *Server) Serve() error {
 func (s *Server) handle(b []byte) []byte {
 	f, err := ParseFrame(b)
 	if err != nil {
+		s.ins.badFrames.Inc()
 		if s.log != nil {
 			s.log.Printf("netproto: %v", err)
 		}
@@ -71,9 +143,10 @@ func (s *Server) handle(b []byte) []byte {
 	}
 	switch f.Type {
 	case TypeSetup:
+		s.ins.setups.Inc()
 		req, err := DecodeSetup(f.Payload)
 		if err != nil {
-			return EncodeErr(f.ReqID, err.Error())
+			return s.errReply(f.ReqID, err)
 		}
 		if err := s.sw.Setup(req.VCI, int(req.Port), req.Rate); err != nil {
 			// Duplicate setup of the same VCI at the same rate is treated
@@ -83,41 +156,44 @@ func (s *Server) handle(b []byte) []byte {
 					return EncodeOK(TypeSetupOK, f.ReqID)
 				}
 			}
-			return EncodeErr(f.ReqID, err.Error())
+			return s.errReply(f.ReqID, err)
 		}
 		return EncodeOK(TypeSetupOK, f.ReqID)
 
 	case TypeTeardown:
+		s.ins.teardowns.Inc()
 		vci, err := DecodeTeardown(f.Payload)
 		if err != nil {
-			return EncodeErr(f.ReqID, err.Error())
+			return s.errReply(f.ReqID, err)
 		}
 		if err := s.sw.Teardown(vci); err != nil {
 			// A retransmitted teardown finds no VC; acknowledge it.
 			if errors.Is(err, switchfab.ErrNoVC) {
 				return EncodeOK(TypeTeardownOK, f.ReqID)
 			}
-			return EncodeErr(f.ReqID, err.Error())
+			return s.errReply(f.ReqID, err)
 		}
 		return EncodeOK(TypeTeardownOK, f.ReqID)
 
 	case TypeRM:
+		s.ins.rm.Inc()
 		h, m, err := DecodeRM(f.Payload)
 		if err != nil {
-			return EncodeErr(f.ReqID, err.Error())
+			return s.errReply(f.ReqID, err)
 		}
 		resp, err := s.sw.HandleRM(h, m)
 		if err != nil {
-			return EncodeErr(f.ReqID, err.Error())
+			return s.errReply(f.ReqID, err)
 		}
 		reply, err := EncodeRMReply(f.ReqID, h, resp)
 		if err != nil {
-			return EncodeErr(f.ReqID, err.Error())
+			return s.errReply(f.ReqID, err)
 		}
 		return reply
 
 	default:
-		return EncodeErr(f.ReqID, "unknown message type")
+		s.ins.badFrames.Inc()
+		return s.errReply(f.ReqID, ErrFrame)
 	}
 }
 

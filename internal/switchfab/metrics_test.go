@@ -1,0 +1,203 @@
+package switchfab
+
+import (
+	"sync"
+	"testing"
+
+	"rcbr/internal/metrics"
+)
+
+// TestConcurrentRenegotiationMetrics hammers one port from N goroutines and
+// checks the books balance: every renegotiation attempt is either a grant or
+// a denial, and after all teardowns the port's reserved gauge is back to
+// zero. Run with -race this is also the concurrency check on the
+// instrumented hot path.
+func TestConcurrentRenegotiationMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ring := metrics.NewEventRing(64)
+	sw := New(WithMetrics(reg), WithEventTrace(ring))
+	// Each worker ratchets its requested rate upward, so the port saturates
+	// under every interleaving: early increases are granted, later ones
+	// denied. Both hot paths get exercised deterministically.
+	const (
+		workers   = 8
+		perWorker = 200
+		base      = 100e3
+		step      = 10e3
+	)
+	if err := sw.AddPort(1, 4e6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		if err := sw.Setup(uint16(i+1), 1, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(vci uint16) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				if _, _, err := sw.Renegotiate(vci, base+float64(k+1)*step); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint16(i + 1))
+	}
+	wg.Wait()
+	// Workers leave their rates ramped up (the port is saturated under any
+	// interleaving); settle each back to base — a decrease, always granted
+	// — so the teardown accounting below is exact.
+	for i := 0; i < workers; i++ {
+		if _, ok, err := sw.Renegotiate(uint16(i+1), base); err != nil || !ok {
+			t.Fatalf("settle vci %d: ok=%v err=%v", i+1, ok, err)
+		}
+	}
+	for i := 0; i < workers; i++ {
+		if err := sw.Teardown(uint16(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := reg.Snapshot()
+	attempts := s.Counters[MetricRenegs]
+	grants := s.Counters[MetricGrants]
+	denies := s.Counters[MetricDenials]
+	if attempts < workers*perWorker {
+		t.Fatalf("attempts = %d, want >= %d", attempts, workers*perWorker)
+	}
+	if grants+denies != attempts {
+		t.Fatalf("grants %d + denies %d != attempts %d", grants, denies, attempts)
+	}
+	if denies == 0 {
+		t.Fatal("no denials: the port never saturated, test lost its teeth")
+	}
+	if got := s.Counters[MetricSetups]; got != workers {
+		t.Fatalf("setups = %d", got)
+	}
+	if got := s.Counters[MetricTeardowns]; got != workers {
+		t.Fatalf("teardowns = %d", got)
+	}
+	if got := s.Gauges[PortReservedGauge(1)]; got != 0 {
+		t.Fatalf("reserved gauge = %g after all teardowns", got)
+	}
+	if s.Histograms[MetricRenegLatency].Count != attempts {
+		t.Fatalf("latency observations = %d, want %d",
+			s.Histograms[MetricRenegLatency].Count, attempts)
+	}
+	// The ring saw more events than it retains and keeps the most recent.
+	if ring.Total() < uint64(workers*perWorker) {
+		t.Fatalf("ring total = %d", ring.Total())
+	}
+	evs := ring.Events()
+	if len(evs) != 64 {
+		t.Fatalf("ring retained %d", len(evs))
+	}
+	if evs[len(evs)-1].Kind != metrics.EventTeardown {
+		t.Fatalf("last event = %v, want teardown", evs[len(evs)-1].Kind)
+	}
+}
+
+// TestMetricsMirrorSwitchState checks the gauges and event kinds across a
+// plain setup → renegotiate → deny → teardown sequence.
+func TestMetricsMirrorSwitchState(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ring := metrics.NewEventRing(16)
+	sw := New(WithMetrics(reg), WithEventTrace(ring))
+	if err := sw.AddPort(7, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges[PortCapacityGauge(7)]; got != 1e6 {
+		t.Fatalf("capacity gauge = %g", got)
+	}
+	if err := sw.Setup(3, 7, 400e3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := sw.Renegotiate(3, 900e3); !ok {
+		t.Fatal("in-capacity increase denied")
+	}
+	if _, ok, _ := sw.Renegotiate(3, 2e6); ok {
+		t.Fatal("over-capacity increase granted")
+	}
+	if got := reg.Snapshot().Gauges[PortReservedGauge(7)]; got != 900e3 {
+		t.Fatalf("reserved gauge = %g, want 900e3", got)
+	}
+	// Over-capacity setup and admission-style reject surface as events too.
+	if err := sw.Setup(4, 7, 500e3); err == nil {
+		t.Fatal("over-capacity setup accepted")
+	}
+	if err := sw.Teardown(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges[PortReservedGauge(7)]; got != 0 {
+		t.Fatalf("reserved gauge = %g after teardown", got)
+	}
+
+	var kinds []metrics.EventKind
+	for _, e := range ring.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []metrics.EventKind{
+		metrics.EventSetup, metrics.EventRenegGrant, metrics.EventRenegDeny,
+		metrics.EventSetupReject, metrics.EventTeardown,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	deny := ring.Events()[2]
+	if deny.Requested != 2e6 || deny.Rate != 900e3 {
+		t.Fatalf("deny event %+v", deny)
+	}
+}
+
+// TestUninstrumentedSwitchStillWorks covers the nil-options path: New()
+// and New(nil) (the legacy positional-nil-admitter call) behave identically
+// and record nothing.
+func TestUninstrumentedSwitchStillWorks(t *testing.T) {
+	for _, sw := range []*Switch{New(), New(nil)} {
+		if err := sw.AddPort(1, 1e6); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Setup(1, 1, 100e3); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := sw.Renegotiate(1, 200e3); err != nil || !ok {
+			t.Fatalf("renegotiate: ok=%v err=%v", ok, err)
+		}
+		if err := sw.Teardown(1); err != nil {
+			t.Fatal(err)
+		}
+		if st := sw.Stats(); st.Setups != 1 || st.Renegotiations != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	}
+}
+
+func TestVCsListing(t *testing.T) {
+	sw := New()
+	if err := sw.AddPort(1, 1e7); err != nil {
+		t.Fatal(err)
+	}
+	for _, vci := range []uint16{30, 10, 20} {
+		if err := sw.Setup(vci, 1, float64(vci)*1e3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vcs := sw.VCs()
+	if len(vcs) != 3 {
+		t.Fatalf("vcs %+v", vcs)
+	}
+	for i, want := range []uint16{10, 20, 30} {
+		if vcs[i].VCI != want || vcs[i].Rate != float64(want)*1e3 || vcs[i].Port != 1 {
+			t.Fatalf("vcs[%d] = %+v", i, vcs[i])
+		}
+	}
+}

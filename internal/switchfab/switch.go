@@ -12,14 +12,22 @@
 // admission control) is a separate method with a pluggable admission policy,
 // mirroring the paper's split between heavyweight setup and lightweight
 // renegotiation.
+//
+// Construction uses functional options (WithAdmitter, WithMetrics,
+// WithEventTrace); observability is opt-in and free when absent, because
+// every instrument is nil-safe and cached at construction time — the
+// renegotiation hot path never looks anything up by name.
 package switchfab
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"rcbr/internal/cell"
+	"rcbr/internal/metrics"
 )
 
 // Errors returned by switch operations.
@@ -63,11 +71,52 @@ type Stats struct {
 type port struct {
 	capacity float64
 	reserved float64
+
+	// reservedGauge mirrors reserved into the metrics registry; nil (a
+	// no-op) when the switch has no registry.
+	reservedGauge *metrics.Gauge
 }
 
 type vcState struct {
 	port int
 	rate float64
+}
+
+// instruments caches the switch's registry handles. All fields are nil-safe
+// no-ops when no registry is configured, so the hot path records
+// unconditionally.
+type instruments struct {
+	setups       *metrics.Counter
+	setupRejects *metrics.Counter
+	teardowns    *metrics.Counter
+	renegs       *metrics.Counter
+	grants       *metrics.Counter
+	denials      *metrics.Counter
+	resyncs      *metrics.Counter
+	renegLatency *metrics.Histogram
+}
+
+// Metric and event names exposed by the switch.
+const (
+	MetricSetups       = "switch.setups"
+	MetricSetupRejects = "switch.setup_rejects"
+	MetricTeardowns    = "switch.teardowns"
+	MetricRenegs       = "switch.renegotiations"
+	MetricGrants       = "switch.renegotiation_grants"
+	MetricDenials      = "switch.renegotiation_denials"
+	MetricResyncs      = "switch.resyncs"
+	MetricRenegLatency = "switch.renegotiation_seconds"
+)
+
+// PortReservedGauge returns the registry name of a port's reserved-rate
+// gauge.
+func PortReservedGauge(portID int) string {
+	return fmt.Sprintf("switch.port.%d.reserved_bps", portID)
+}
+
+// PortCapacityGauge returns the registry name of a port's capacity gauge.
+func PortCapacityGauge(portID int) string {
+	return fmt.Sprintf("switch.port.%d.capacity_bps", portID)
 }
 
 // Switch is a software RCBR switch. It is safe for concurrent use.
@@ -77,16 +126,60 @@ type Switch struct {
 	vcs      map[uint16]*vcState
 	admitter Admitter
 	stats    Stats
+
+	reg    *metrics.Registry
+	ins    instruments
+	events *metrics.EventRing
 }
 
-// New returns an empty switch. A nil admitter admits every call that fits
-// within port capacity.
-func New(admitter Admitter) *Switch {
-	return &Switch{
-		ports:    make(map[int]*port),
-		vcs:      make(map[uint16]*vcState),
-		admitter: admitter,
+// Option configures a Switch at construction time. A nil Option is ignored,
+// so legacy call sites passing a nil admitter positionally (New(nil)) keep
+// compiling and behaving as before.
+type Option func(*Switch)
+
+// WithAdmitter installs the call-admission policy consulted at setup time.
+// A nil admitter (the default) admits every call that fits within capacity.
+func WithAdmitter(a Admitter) Option {
+	return func(s *Switch) { s.admitter = a }
+}
+
+// WithMetrics publishes the switch's counters, per-port reserved gauges,
+// and the renegotiation latency histogram into reg.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Switch) { s.reg = reg }
+}
+
+// WithEventTrace records per-VC lifecycle events (setup, renegotiate-grant,
+// renegotiate-deny, teardown, ...) into ring.
+func WithEventTrace(ring *metrics.EventRing) Option {
+	return func(s *Switch) { s.events = ring }
+}
+
+// New returns an empty switch configured by the options. With no options it
+// admits every call that fits within port capacity and records nothing.
+func New(opts ...Option) *Switch {
+	s := &Switch{
+		ports: make(map[int]*port),
+		vcs:   make(map[uint16]*vcState),
 	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(s)
+		}
+	}
+	if s.reg != nil {
+		s.ins = instruments{
+			setups:       s.reg.Counter(MetricSetups),
+			setupRejects: s.reg.Counter(MetricSetupRejects),
+			teardowns:    s.reg.Counter(MetricTeardowns),
+			renegs:       s.reg.Counter(MetricRenegs),
+			grants:       s.reg.Counter(MetricGrants),
+			denials:      s.reg.Counter(MetricDenials),
+			resyncs:      s.reg.Counter(MetricResyncs),
+			renegLatency: s.reg.Histogram(MetricRenegLatency, metrics.DefBuckets),
+		}
+	}
+	return s
 }
 
 // AddPort registers an output port with the given capacity in bits/second.
@@ -99,8 +192,23 @@ func (s *Switch) AddPort(id int, capacity float64) error {
 	if _, ok := s.ports[id]; ok {
 		return fmt.Errorf("%w: %d", ErrPortExists, id)
 	}
-	s.ports[id] = &port{capacity: capacity}
+	p := &port{capacity: capacity}
+	if s.reg != nil {
+		s.reg.Gauge(PortCapacityGauge(id)).Set(capacity)
+		p.reservedGauge = s.reg.Gauge(PortReservedGauge(id))
+		p.reservedGauge.Set(0)
+	}
+	s.ports[id] = p
 	return nil
+}
+
+// setReserved updates a port's reservation and its mirrored gauge together.
+func (p *port) setReserved(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	p.reserved = v
+	p.reservedGauge.Set(v)
 }
 
 // Setup establishes a VC on an output port at an initial rate: the
@@ -120,18 +228,28 @@ func (s *Switch) Setup(vci uint16, portID int, rate float64) error {
 		return fmt.Errorf("%w: %d", ErrVCExists, vci)
 	}
 	if p.reserved+rate > p.capacity {
-		s.stats.SetupRejects++
+		s.rejectSetupLocked(vci, portID, rate)
 		return fmt.Errorf("%w: port %d has %g of %g reserved",
 			ErrCapacity, portID, p.reserved, p.capacity)
 	}
 	if s.admitter != nil && !s.admitter.AdmitCall(portID, rate, p.reserved, p.capacity) {
-		s.stats.SetupRejects++
+		s.rejectSetupLocked(vci, portID, rate)
 		return ErrAdmission
 	}
-	p.reserved += rate
+	p.setReserved(p.reserved + rate)
 	s.vcs[vci] = &vcState{port: portID, rate: rate}
 	s.stats.Setups++
+	s.ins.setups.Inc()
+	s.events.Record(metrics.Event{Kind: metrics.EventSetup, VCI: vci, Port: portID, Rate: rate})
 	return nil
+}
+
+func (s *Switch) rejectSetupLocked(vci uint16, portID int, rate float64) {
+	s.stats.SetupRejects++
+	s.ins.setupRejects.Inc()
+	s.events.Record(metrics.Event{
+		Kind: metrics.EventSetupReject, VCI: vci, Port: portID, Requested: rate,
+	})
 }
 
 // Teardown releases a VC and its reservation.
@@ -142,12 +260,12 @@ func (s *Switch) Teardown(vci uint16) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoVC, vci)
 	}
-	s.ports[vc.port].reserved -= vc.rate
-	if s.ports[vc.port].reserved < 0 {
-		s.ports[vc.port].reserved = 0
-	}
+	p := s.ports[vc.port]
+	p.setReserved(p.reserved - vc.rate)
 	delete(s.vcs, vci)
 	s.stats.Teardowns++
+	s.ins.teardowns.Inc()
+	s.events.Record(metrics.Event{Kind: metrics.EventTeardown, VCI: vci, Port: vc.port})
 	return nil
 }
 
@@ -159,9 +277,17 @@ func (s *Switch) Renegotiate(vci uint16, newRate float64) (granted float64, ok b
 	if newRate < 0 {
 		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, newRate)
 	}
+	var start time.Time
+	if s.ins.renegLatency != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.renegotiateLocked(vci, newRate)
+	granted, ok, err = s.renegotiateLocked(vci, newRate)
+	if s.ins.renegLatency != nil {
+		s.ins.renegLatency.ObserveSince(start)
+	}
+	return granted, ok, err
 }
 
 func (s *Switch) renegotiateLocked(vci uint16, newRate float64) (float64, bool, error) {
@@ -171,13 +297,23 @@ func (s *Switch) renegotiateLocked(vci uint16, newRate float64) (float64, bool, 
 	}
 	p := s.ports[vc.port]
 	s.stats.Renegotiations++
+	s.ins.renegs.Inc()
 	if p.reserved-vc.rate+newRate <= p.capacity {
-		p.reserved += newRate - vc.rate
+		p.setReserved(p.reserved + newRate - vc.rate)
 		vc.rate = newRate
+		s.ins.grants.Inc()
+		s.events.Record(metrics.Event{
+			Kind: metrics.EventRenegGrant, VCI: vci, Port: vc.port, Rate: newRate,
+		})
 		return newRate, true, nil
 	}
 	// Denied: the source keeps the bandwidth it already has (III-A.1).
 	s.stats.Denials++
+	s.ins.denials.Inc()
+	s.events.Record(metrics.Event{
+		Kind: metrics.EventRenegDeny, VCI: vci, Port: vc.port,
+		Rate: vc.rate, Requested: newRate,
+	})
 	return vc.rate, false, nil
 }
 
@@ -193,6 +329,10 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	if m.ER < 0 {
 		return cell.RM{}, fmt.Errorf("%w: %g", ErrInvalidRate, m.ER)
 	}
+	var start time.Time
+	if s.ins.renegLatency != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	vc, exists := s.vcs[h.VCI]
@@ -204,6 +344,7 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	case m.Resync:
 		want = m.ER
 		s.stats.Resyncs++
+		s.ins.resyncs.Inc()
 	case m.Decrease:
 		want = vc.rate - m.ER
 		if want < 0 {
@@ -215,6 +356,9 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	granted, ok, err := s.renegotiateLocked(h.VCI, want)
 	if err != nil {
 		return cell.RM{}, err
+	}
+	if s.ins.renegLatency != nil {
+		s.ins.renegLatency.ObserveSince(start)
 	}
 	return cell.RM{
 		Backward: true,
@@ -253,6 +397,26 @@ func (s *Switch) VCCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.vcs)
+}
+
+// VCInfo describes one established VC.
+type VCInfo struct {
+	VCI  uint16  `json:"vci"`
+	Port int     `json:"port"`
+	Rate float64 `json:"rate_bps"`
+}
+
+// VCs returns every established VC sorted by VCI: the backing data of the
+// daemon's /vcs endpoint.
+func (s *Switch) VCs() []VCInfo {
+	s.mu.Lock()
+	out := make([]VCInfo, 0, len(s.vcs))
+	for vci, vc := range s.vcs {
+		out = append(out, VCInfo{VCI: vci, Port: vc.port, Rate: vc.rate})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].VCI < out[j].VCI })
+	return out
 }
 
 // Stats returns a snapshot of the activity counters.

@@ -72,7 +72,7 @@ func TestSetupErrors(t *testing.T) {
 
 func TestAdmissionHook(t *testing.T) {
 	rejectAll := AdmitterFunc(func(int, float64, float64, float64) bool { return false })
-	s := New(rejectAll)
+	s := New(WithAdmitter(rejectAll))
 	if err := s.AddPort(1, 1e6); err != nil {
 		t.Fatal(err)
 	}

@@ -27,9 +27,38 @@
 //
 // The reproduction of every figure in the paper's evaluation lives in
 // cmd/rcbrsim; see DESIGN.md and EXPERIMENTS.md.
+//
+// # Errors
+//
+// Switch and signaling failures carry sentinel errors that survive the UDP
+// wire: a rejected setup or denied-for-capacity operation matches
+// errors.Is(err, ErrCapacity) whether the switch was called in-process or
+// through a SignalClient (the signaling protocol encodes the sentinel in its
+// error replies). IsCapacityError collapses the two admission-flavored
+// sentinels (ErrCapacity, ErrAdmission) into the one question most callers
+// ask — "should I retry at a lower rate?" — and IsTimeout identifies
+// exhausted retransmissions and expired contexts.
+//
+// # Observability
+//
+// All components accept a shared *MetricsRegistry (NewMetricsRegistry): the
+// switch (WithSwitchMetrics) publishes setup/renegotiation/teardown counters,
+// per-port reserved and capacity gauges, and a renegotiation latency
+// histogram; the signaling server (WithSignalServerMetrics) and client
+// (WithSignalMetrics) publish datagram and retry counters plus an RTT
+// histogram; the online heuristic (HeuristicParams.Metrics) publishes
+// trigger/failure counters and buffer threshold crossings; admission
+// controllers wrapped with InstrumentAdmission count per-policy decisions.
+// Registry.Snapshot returns a plain JSON-marshalable struct. A switch given
+// an *EventRing (WithSwitchEvents) additionally records per-VC lifecycle
+// events (setup, renegotiate-grant, renegotiate-deny, teardown) that the ring
+// dumps as JSON. Command rcbrd serves both over HTTP (-http) as /metrics and
+// /vcs.
 package rcbr
 
 import (
+	"context"
+	"errors"
 	"log"
 	"time"
 
@@ -39,6 +68,7 @@ import (
 	"rcbr/internal/fit"
 	"rcbr/internal/heuristic"
 	"rcbr/internal/ld"
+	"rcbr/internal/metrics"
 	"rcbr/internal/netproto"
 	"rcbr/internal/shaper"
 	"rcbr/internal/stats"
@@ -81,10 +111,31 @@ type (
 
 	// Switch is a software RCBR switch.
 	Switch = switchfab.Switch
+	// SwitchOption configures a Switch at construction.
+	SwitchOption = switchfab.Option
+	// Admitter is the call-admission hook consulted at setup time.
+	Admitter = switchfab.Admitter
+	// VCInfo describes one established VC on a Switch.
+	VCInfo = switchfab.VCInfo
 	// SignalServer serves RCBR signaling over UDP.
 	SignalServer = netproto.Server
+	// SignalServerOption configures a SignalServer at construction.
+	SignalServerOption = netproto.ServerOption
 	// SignalClient signals an RCBR switch over UDP.
 	SignalClient = netproto.Client
+	// SignalClientOption configures a SignalClient at dial time.
+	SignalClientOption = netproto.ClientOption
+
+	// MetricsRegistry collects counters, gauges, and histograms from every
+	// component it is handed to.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's instruments,
+	// marshalable to JSON.
+	MetricsSnapshot = metrics.Snapshot
+	// EventRing retains the most recent per-VC lifecycle events.
+	EventRing = metrics.EventRing
+	// Event is one per-VC lifecycle event.
+	Event = metrics.Event
 
 	// AdmissionController decides call admission (Section VI).
 	AdmissionController = admission.Controller
@@ -151,19 +202,114 @@ func NewSource(bufferBits, slotSec, initialRate float64) *Source {
 	return core.NewSource(bufferBits, slotSec, initialRate)
 }
 
-// NewSwitch returns a software RCBR switch; a nil admitter admits every
-// call that fits.
-func NewSwitch(admitter switchfab.Admitter) *Switch { return switchfab.New(admitter) }
+// Sentinel errors, re-exported from the switch and signaling layers. All of
+// them survive the UDP signaling path: errors.Is works on client-side errors
+// exactly as it does in-process.
+var (
+	// ErrCapacity: the operation would exceed a port's capacity.
+	ErrCapacity = switchfab.ErrCapacity
+	// ErrAdmission: the call was rejected by the admission policy.
+	ErrAdmission = switchfab.ErrAdmission
+	// ErrNoVC: the VC does not exist.
+	ErrNoVC = switchfab.ErrNoVC
+	// ErrNoPort: the output port does not exist.
+	ErrNoPort = switchfab.ErrNoPort
+	// ErrVCExists: the VCI is already in use.
+	ErrVCExists = switchfab.ErrVCExists
+	// ErrInvalidRate: a negative or otherwise malformed rate.
+	ErrInvalidRate = switchfab.ErrInvalidRate
+	// ErrSignalTimeout: a signaling request exhausted its retransmissions.
+	ErrSignalTimeout = netproto.ErrTimeout
+	// ErrRemote wraps any error reported by the remote switch.
+	ErrRemote = netproto.ErrRemote
+)
 
-// NewSignalServer binds a UDP signaling server for a switch. The logger may
-// be nil.
-func NewSignalServer(addr string, sw *Switch, logger *log.Logger) (*SignalServer, error) {
-	return netproto.NewServer(addr, sw, logger)
+// IsCapacityError reports whether err means the network would not carry the
+// requested bandwidth — either the hard capacity check (ErrCapacity) or the
+// admission policy (ErrAdmission) said no. Callers typically respond by
+// retrying at a lower rate or backing off.
+func IsCapacityError(err error) bool {
+	return errors.Is(err, ErrCapacity) || errors.Is(err, ErrAdmission)
 }
 
-// DialSwitch connects a signaling client to an RCBR switch daemon.
+// IsTimeout reports whether err means a signaling request ran out of time:
+// retransmissions exhausted (ErrSignalTimeout) or the caller's context
+// expired.
+func IsTimeout(err error) bool {
+	return errors.Is(err, ErrSignalTimeout) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// NewMetricsRegistry returns an empty metrics registry to share across
+// components.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewEventRing returns a ring retaining the last n per-VC lifecycle events.
+func NewEventRing(n int) *EventRing { return metrics.NewEventRing(n) }
+
+// WithAdmitter installs a call-admission policy on a Switch.
+func WithAdmitter(a Admitter) SwitchOption { return switchfab.WithAdmitter(a) }
+
+// WithSwitchMetrics publishes a Switch's counters, per-port gauges, and
+// renegotiation latency histogram into reg.
+func WithSwitchMetrics(reg *MetricsRegistry) SwitchOption { return switchfab.WithMetrics(reg) }
+
+// WithSwitchEvents records a Switch's per-VC lifecycle events into ring.
+func WithSwitchEvents(ring *EventRing) SwitchOption { return switchfab.WithEventTrace(ring) }
+
+// NewSwitch returns a software RCBR switch; a nil admitter admits every call
+// that fits. Options (WithSwitchMetrics, WithSwitchEvents) extend the legacy
+// single-argument form without breaking it.
+func NewSwitch(admitter Admitter, opts ...SwitchOption) *Switch {
+	return switchfab.New(append([]SwitchOption{switchfab.WithAdmitter(admitter)}, opts...)...)
+}
+
+// WithSignalLogger directs a SignalServer's signaling errors to logger.
+func WithSignalLogger(logger *log.Logger) SignalServerOption { return netproto.WithLogger(logger) }
+
+// WithSignalServerMetrics publishes a SignalServer's datagram and per-request
+// counters into reg.
+func WithSignalServerMetrics(reg *MetricsRegistry) SignalServerOption {
+	return netproto.WithServerMetrics(reg)
+}
+
+// NewSignalServer binds a UDP signaling server for a switch. The logger may
+// be nil; options extend the legacy three-argument form without breaking it.
+func NewSignalServer(addr string, sw *Switch, logger *log.Logger, opts ...SignalServerOption) (*SignalServer, error) {
+	all := append([]SignalServerOption{netproto.WithLogger(logger)}, opts...)
+	return netproto.NewServer(addr, sw, all...)
+}
+
+// WithSignalTimeout sets a SignalClient's per-attempt reply deadline.
+func WithSignalTimeout(d time.Duration) SignalClientOption { return netproto.WithTimeout(d) }
+
+// WithSignalRetries sets a SignalClient's retransmission budget.
+func WithSignalRetries(n int) SignalClientOption { return netproto.WithRetries(n) }
+
+// WithSignalMetrics publishes a SignalClient's datagram/retry counters and
+// RTT histogram into reg.
+func WithSignalMetrics(reg *MetricsRegistry) SignalClientOption {
+	return netproto.WithClientMetrics(reg)
+}
+
+// DialSwitch connects a signaling client to an RCBR switch daemon with a
+// fixed per-attempt timeout and retry budget — the legacy form of
+// DialSwitchContext.
 func DialSwitch(addr string, timeout time.Duration, retries int) (*SignalClient, error) {
-	return netproto.Dial(addr, timeout, retries)
+	return netproto.Dial(addr, netproto.WithTimeout(timeout), netproto.WithRetries(retries))
+}
+
+// DialSwitchContext connects a signaling client to an RCBR switch daemon,
+// honoring ctx during socket setup. The client's request methods (Setup,
+// Renegotiate, Resync, Teardown) each take their own context bounding the
+// whole request including retransmissions.
+func DialSwitchContext(ctx context.Context, addr string, opts ...SignalClientOption) (*SignalClient, error) {
+	return netproto.DialContext(ctx, addr, opts...)
+}
+
+// InstrumentAdmission wraps an admission controller so every decision
+// increments an "admission.<name>.admits" or ".rejects" counter in reg.
+func InstrumentAdmission(c AdmissionController, reg *MetricsRegistry) AdmissionController {
+	return admission.Instrument(c, reg)
 }
 
 // NewPerfectAdmission returns the perfect-knowledge Chernoff admission

@@ -1,6 +1,8 @@
 package rcbr_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -58,13 +60,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Setup(1, 1, sch.Segments[0].Rate); err != nil {
+	ctx := context.Background()
+	if err := cl.Setup(ctx, 1, 1, sch.Segments[0].Rate); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := cl.Renegotiate(1, sch.Segments[0].Rate, 1e6); err != nil || !ok {
+	if _, ok, err := cl.Renegotiate(ctx, 1, sch.Segments[0].Rate, 1e6); err != nil || !ok {
 		t.Fatalf("renegotiate: %v ok=%v", err, ok)
 	}
-	if err := cl.Teardown(1); err != nil {
+	if err := cl.Teardown(ctx, 1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -93,6 +96,74 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if src.LostBits() != 0 {
 		t.Fatalf("source lost %v bits under the optimal schedule", src.LostBits())
+	}
+}
+
+// TestObservabilityAndErrors exercises the redesigned surface: a shared
+// metrics registry across switch, server, and client; the event trace; and
+// sentinel errors holding their identity across the UDP signaling path.
+func TestObservabilityAndErrors(t *testing.T) {
+	reg := rcbr.NewMetricsRegistry()
+	ring := rcbr.NewEventRing(32)
+	sw := rcbr.NewSwitch(nil, rcbr.WithSwitchMetrics(reg), rcbr.WithSwitchEvents(ring))
+	if err := sw.AddPort(1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rcbr.NewSignalServer("127.0.0.1:0", sw, nil, rcbr.WithSignalServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve() //nolint:errcheck
+
+	ctx := context.Background()
+	cl, err := rcbr.DialSwitchContext(ctx, srv.Addr().String(),
+		rcbr.WithSignalTimeout(time.Second), rcbr.WithSignalRetries(2),
+		rcbr.WithSignalMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Setup(ctx, 5, 1, 600e3); err != nil {
+		t.Fatal(err)
+	}
+	// Oversubscribing the 1 Mb/s port must surface as a capacity error even
+	// though it happened on the far side of a UDP socket.
+	err = cl.Setup(ctx, 6, 1, 600e3)
+	if err == nil || !rcbr.IsCapacityError(err) {
+		t.Fatalf("oversubscribed setup: %v (IsCapacityError=false)", err)
+	}
+	if !errors.Is(err, rcbr.ErrCapacity) || !errors.Is(err, rcbr.ErrRemote) {
+		t.Fatalf("error %v lost its wire identity", err)
+	}
+	if rcbr.IsTimeout(err) {
+		t.Fatal("capacity error misclassified as timeout")
+	}
+	if err := cl.Teardown(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["switch.setups"] != 1 || snap.Counters["switch.setup_rejects"] != 1 ||
+		snap.Counters["switch.teardowns"] != 1 {
+		t.Fatalf("switch counters: %v", snap.Counters)
+	}
+	if snap.Gauges["switch.port.1.reserved_bps"] != 0 {
+		t.Fatalf("port gauge = %v after teardown", snap.Gauges["switch.port.1.reserved_bps"])
+	}
+	if snap.Counters["signal.server.error_replies"] != 1 {
+		t.Fatalf("server counters: %v", snap.Counters)
+	}
+	if ring.Total() != 3 { // setup, setup-reject, teardown
+		t.Fatalf("events recorded = %d, want 3", ring.Total())
+	}
+
+	// A context already expired fails fast and classifies as a timeout.
+	expired, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer cancel()
+	if err := cl.Setup(expired, 7, 1, 1e3); !rcbr.IsTimeout(err) {
+		t.Fatalf("expired context: %v", err)
 	}
 }
 
