@@ -5,7 +5,12 @@
 // Usage:
 //
 //	rcbrd [-listen 127.0.0.1:4059] [-ports "1:155e6,2:155e6"] [-v]
-//	      [-http 127.0.0.1:8059] [-events 256]
+//	      [-http 127.0.0.1:8059] [-events 256] [-workers 4] [-queue 256]
+//
+// -workers sets the number of concurrent signaling handlers and -queue the
+// depth of the datagram queue feeding them; when the queue is full further
+// datagrams are dropped (and counted on signal.server.dropped_datagrams) so
+// a signaling burst sheds load instead of growing memory without bound.
 //
 // Each port spec is id:capacity with capacity in bits/second. With -http, the
 // daemon additionally serves GET /metrics (the JSON metrics snapshot: per-port
@@ -38,6 +43,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "log signaling errors")
 		httpAddr = flag.String("http", "", "serve /metrics and /vcs on this TCP address (empty disables)")
 		events   = flag.Int("events", 256, "per-VC lifecycle events retained for /vcs")
+		workers  = flag.Int("workers", netproto.DefaultWorkers, "concurrent signaling handlers")
+		queue    = flag.Int("queue", netproto.DefaultQueue, "pending-datagram queue depth (overflow is dropped)")
 	)
 	flag.Parse()
 
@@ -53,7 +60,8 @@ func main() {
 		logger = log.New(os.Stderr, "rcbrd ", log.LstdFlags|log.Lmicroseconds)
 	}
 	srv, err := netproto.NewServer(*listen, sw,
-		netproto.WithLogger(logger), netproto.WithServerMetrics(reg))
+		netproto.WithLogger(logger), netproto.WithServerMetrics(reg),
+		netproto.WithWorkers(*workers), netproto.WithQueue(*queue))
 	if err != nil {
 		fatal(err)
 	}

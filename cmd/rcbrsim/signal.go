@@ -32,6 +32,8 @@ func signalRun(args []string) error {
 	capFrac := fs.Float64("capfrac", 1.3, "link capacity as a multiple of aggregate mean rate")
 	jsonOut := fs.String("json", "", "dump metrics + event trace as JSON to this file (- for stdout)")
 	events := fs.Int("events", 1024, "per-VC lifecycle events retained")
+	workers := fs.Int("workers", netproto.DefaultWorkers, "concurrent signaling handlers")
+	queue := fs.Int("queue", netproto.DefaultQueue, "pending-datagram queue depth (overflow is dropped)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,7 +63,8 @@ func signalRun(args []string) error {
 		return err
 	}
 
-	srv, err := netproto.NewServer("127.0.0.1:0", sw, netproto.WithServerMetrics(reg))
+	srv, err := netproto.NewServer("127.0.0.1:0", sw, netproto.WithServerMetrics(reg),
+		netproto.WithWorkers(*workers), netproto.WithQueue(*queue))
 	if err != nil {
 		return err
 	}

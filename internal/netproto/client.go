@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcbr/internal/cell"
@@ -37,20 +38,35 @@ type clientInstruments struct {
 	rtt      *metrics.Histogram
 }
 
+// rxResult is one delivery from the reader goroutine to a waiting request:
+// either the reply frame matching its ReqID, or the socket error that ended
+// the wait.
+type rxResult struct {
+	frame Frame
+	err   error
+}
+
 // Client signals an RCBR switch daemon over UDP. It is safe for concurrent
-// use; requests are serialized on the single socket. Every request method
-// takes a context for cancellation and deadlines: the context bounds the
-// whole request including retransmissions, while the per-attempt reply
-// timeout (WithTimeout) paces the retries within it.
+// use: a single reader goroutine demultiplexes replies by request ID to
+// per-request channels, so any number of Setup/Renegotiate/Resync calls can
+// be in flight on the one socket at once, each pacing its own retries.
+// Every request method takes a context for cancellation and deadlines: the
+// context bounds the whole request including retransmissions, while the
+// per-attempt reply timeout (WithTimeout) paces the retries within it.
 type Client struct {
-	mu      sync.Mutex
 	conn    net.Conn
 	timeout time.Duration
 	retries int
-	nextID  uint32
-	nextSeq uint32
-	buf     []byte
 	ins     clientInstruments
+
+	nextID  atomic.Uint32
+	nextSeq atomic.Uint32
+
+	mu      sync.Mutex // guards pending and closed
+	pending map[uint32]chan rxResult
+	closed  bool
+
+	readerDone chan struct{}
 }
 
 // ErrTimeout is returned when a request exhausts its retries.
@@ -120,37 +136,124 @@ func DialContext(ctx context.Context, addr string, opts ...ClientOption) (*Clien
 		return nil, err
 	}
 	c := &Client{
-		conn:    conn,
-		timeout: 500 * time.Millisecond,
-		retries: 3,
-		buf:     make([]byte, maxFrame),
+		conn:       conn,
+		timeout:    500 * time.Millisecond,
+		retries:    3,
+		pending:    make(map[uint32]chan rxResult),
+		readerDone: make(chan struct{}),
 	}
 	for _, opt := range opts {
 		if opt != nil {
 			opt(c)
 		}
 	}
+	go c.readLoop()
 	return c, nil
 }
 
-// Close releases the socket.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close releases the socket, fails any in-flight requests, and waits for
+// the reader goroutine to exit. It is idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.readerDone
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// readLoop is the single socket reader: it parses every incoming datagram
+// and routes it to the in-flight request with the matching ReqID. A socket
+// error is delivered to every in-flight request (on a connected UDP socket
+// it concerns them all — e.g. an ICMP unreachable); the loop exits only
+// when the socket is closed.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	buf := make([]byte, maxFrame)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			if c.deliverError(err) {
+				return
+			}
+			continue
+		}
+		f, perr := ParseFrame(buf[:n])
+		if perr != nil {
+			continue // garbage datagram; nobody to attribute it to
+		}
+		// Copy the payload out of the shared read buffer before handing the
+		// frame to another goroutine.
+		payload := make([]byte, len(f.Payload))
+		copy(payload, f.Payload)
+		f.Payload = payload
+		c.mu.Lock()
+		ch := c.pending[f.ReqID]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- rxResult{frame: f}:
+			default: // duplicate reply; the first one already won
+			}
+		}
+	}
+}
+
+// deliverError fans a socket error out to every in-flight request and
+// reports whether the reader should exit (the socket is closed).
+func (c *Client) deliverError(err error) (done bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	done = c.closed || errors.Is(err, net.ErrClosed)
+	if done {
+		err = net.ErrClosed
+	}
+	for _, ch := range c.pending {
+		select {
+		case ch <- rxResult{err: err}:
+		default:
+		}
+	}
+	return done
+}
+
+// register enters a request into the demux table; it fails once the client
+// is closed.
+func (c *Client) register(reqID uint32, ch chan rxResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return net.ErrClosed
+	}
+	c.pending[reqID] = ch
+	return nil
+}
+
+func (c *Client) unregister(reqID uint32) {
+	c.mu.Lock()
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+}
 
 // roundTrip sends the datagram and waits for a frame echoing reqID,
 // retransmitting on timeout, until ctx is done or the retries are
 // exhausted. resend generates the datagram for each attempt (attempt 0 is
 // the original), letting callers switch to an idempotent encoding for
-// retries. rm marks RM-cell traffic for the metrics split.
+// retries. rm marks RM-cell traffic for the metrics split. Concurrent
+// round trips share the socket; each paces its own timer.
 func (c *Client) roundTrip(ctx context.Context, reqID uint32, rm bool, resend func(attempt int) ([]byte, error)) (Frame, error) {
 	c.ins.requests.Inc()
-	if ctx.Done() != nil {
-		// Wake a blocking read when the context fires; the read error path
-		// below sees ctx.Err() and surfaces it.
-		stop := context.AfterFunc(ctx, func() {
-			c.conn.SetReadDeadline(time.Now()) //nolint:errcheck
-		})
-		defer stop()
+	ch := make(chan rxResult, 1)
+	if err := c.register(reqID, ch); err != nil {
+		return Frame{}, err
 	}
+	defer c.unregister(reqID)
+	var timer *time.Timer
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return Frame{}, err
@@ -164,8 +267,8 @@ func (c *Client) roundTrip(ctx context.Context, reqID uint32, rm bool, resend fu
 		}
 		sentAt := time.Now()
 		if _, err := c.conn.Write(pkt); err != nil {
-			if ctx.Err() != nil {
-				return Frame{}, ctx.Err()
+			if cerr := ctx.Err(); cerr != nil {
+				return Frame{}, cerr
 			}
 			return Frame{}, err
 		}
@@ -173,56 +276,40 @@ func (c *Client) roundTrip(ctx context.Context, reqID uint32, rm bool, resend fu
 		if rm {
 			c.ins.rmSent.Inc()
 		}
-		deadline := sentAt.Add(c.timeout)
-		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-			deadline = d
+		if timer == nil {
+			timer = time.NewTimer(c.timeout)
+			defer timer.Stop()
+		} else {
+			// The previous attempt left timer.C drained (its timeout is the
+			// only way to reach another attempt), so Reset is safe.
+			timer.Reset(c.timeout)
 		}
-		for {
-			if err := c.conn.SetReadDeadline(deadline); err != nil {
-				return Frame{}, err
-			}
-			n, err := c.conn.Read(c.buf)
-			if err != nil {
-				if cerr := ctx.Err(); cerr != nil {
-					return Frame{}, cerr
-				}
-				if ne, ok := err.(net.Error); ok && ne.Timeout() {
-					c.ins.timeouts.Inc()
-					break // next attempt
-				}
-				return Frame{}, err
-			}
-			f, err := ParseFrame(c.buf[:n])
-			if err != nil {
-				continue // garbage; keep waiting
-			}
-			if f.ReqID != reqID {
-				continue // stale reply from an earlier attempt
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				return Frame{}, r.err
 			}
 			c.ins.recv.Inc()
 			if rm {
 				c.ins.rmRecv.Inc()
 			}
 			c.ins.rtt.ObserveSince(sentAt)
-			// Copy the payload out of the shared buffer.
-			payload := make([]byte, len(f.Payload))
-			copy(payload, f.Payload)
-			f.Payload = payload
-			return f, nil
+			return r.frame, nil
+		case <-timer.C:
+			c.ins.timeouts.Inc() // next attempt, if any remain
+		case <-ctx.Done():
+			return Frame{}, ctx.Err()
 		}
 	}
 	return Frame{}, ErrTimeout
 }
 
 func (c *Client) newID() uint32 {
-	c.nextID++
-	return c.nextID
+	return c.nextID.Add(1)
 }
 
 // Setup establishes a VC on the switch.
 func (c *Client) Setup(ctx context.Context, vci uint16, port int, rate float64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	id := c.newID()
 	pkt := EncodeSetup(id, SetupReq{VCI: vci, Port: uint16(port), Rate: rate})
 	f, err := c.roundTrip(ctx, id, false, func(int) ([]byte, error) { return pkt, nil })
@@ -241,8 +328,6 @@ func (c *Client) Setup(ctx context.Context, vci uint16, port int, rate float64) 
 
 // Teardown releases a VC.
 func (c *Client) Teardown(ctx context.Context, vci uint16) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	id := c.newID()
 	pkt := EncodeTeardown(id, vci)
 	f, err := c.roundTrip(ctx, id, false, func(int) ([]byte, error) { return pkt, nil })
@@ -261,18 +346,18 @@ func (c *Client) Teardown(ctx context.Context, vci uint16) error {
 
 // Renegotiate requests a rate change from current to target bits/second on
 // the VC, using a delta RM cell on the first attempt and idempotent resync
-// cells on retries (a lost delta must not be applied twice). It returns the
-// rate now in force and whether the request was granted in full.
+// cells on retries (a lost delta must not be applied twice). Every attempt
+// carries a fresh sequence number, so the switch can recognize — and drop —
+// a delayed delta arriving after its resync retry. It returns the rate now
+// in force and whether the request was granted in full.
 func (c *Client) Renegotiate(ctx context.Context, vci uint16, current, target float64) (granted float64, ok bool, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	id := c.newID()
 	h := cell.Header{VCI: vci}
 	f, err := c.roundTrip(ctx, id, true, func(attempt int) ([]byte, error) {
-		c.nextSeq++
+		seq := c.nextSeq.Add(1)
 		if attempt == 0 {
 			delta := target - current
-			m := cell.RM{Seq: c.nextSeq}
+			m := cell.RM{Seq: seq}
 			if delta < 0 {
 				m.Decrease = true
 				m.ER = -delta
@@ -281,7 +366,7 @@ func (c *Client) Renegotiate(ctx context.Context, vci uint16, current, target fl
 			}
 			return EncodeRM(id, h, m)
 		}
-		return EncodeRM(id, h, cell.RM{Resync: true, ER: target, Seq: c.nextSeq})
+		return EncodeRM(id, h, cell.RM{Resync: true, ER: target, Seq: seq})
 	})
 	if err != nil {
 		return 0, false, err
@@ -291,13 +376,10 @@ func (c *Client) Renegotiate(ctx context.Context, vci uint16, current, target fl
 
 // Resync asserts the VC's absolute rate (periodic drift repair).
 func (c *Client) Resync(ctx context.Context, vci uint16, rate float64) (granted float64, ok bool, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	id := c.newID()
 	h := cell.Header{VCI: vci}
 	f, err := c.roundTrip(ctx, id, true, func(int) ([]byte, error) {
-		c.nextSeq++
-		return EncodeRM(id, h, cell.RM{Resync: true, ER: rate, Seq: c.nextSeq})
+		return EncodeRM(id, h, cell.RM{Resync: true, ER: rate, Seq: c.nextSeq.Add(1)})
 	})
 	if err != nil {
 		return 0, false, err

@@ -12,9 +12,10 @@ import (
 )
 
 // lossyProxy forwards UDP datagrams between a client and a server, dropping
-// requests according to drop(i) for the i-th client datagram. Replies are
-// never dropped (dropping the request is equivalent for the client's retry
-// logic and keeps the bookkeeping simple).
+// requests according to drop(i) for the i-th client datagram and optionally
+// delaying (reordering) them according to delay(i). Replies are never
+// dropped (dropping the request is equivalent for the client's retry logic
+// and keeps the bookkeeping simple).
 type lossyProxy struct {
 	front net.PacketConn // clients talk to this
 	back  *net.UDPConn   // towards the real server
@@ -22,11 +23,20 @@ type lossyProxy struct {
 	mu     sync.Mutex
 	nReq   int
 	drop   func(i int) bool
+	delay  func(i int) time.Duration // nil: deliver immediately
 	client net.Addr
 	closed bool
 }
 
-func newLossyProxy(t *testing.T, serverAddr string, drop func(i int) bool) *lossyProxy {
+func newLossyProxy(t testing.TB, serverAddr string, drop func(i int) bool) *lossyProxy {
+	return newShapingProxy(t, serverAddr, drop, nil)
+}
+
+// newShapingProxy is newLossyProxy with per-datagram delivery delays: a
+// datagram with delay(i) > 0 is held that long before being forwarded,
+// while later datagrams pass it — the reordering harness for the
+// duplicate-delta tests.
+func newShapingProxy(t testing.TB, serverAddr string, drop func(i int) bool, delay func(i int) time.Duration) *lossyProxy {
 	t.Helper()
 	front, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -40,7 +50,10 @@ func newLossyProxy(t *testing.T, serverAddr string, drop func(i int) bool) *loss
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &lossyProxy{front: front, back: back, drop: drop}
+	if drop == nil {
+		drop = func(int) bool { return false }
+	}
+	p := &lossyProxy{front: front, back: back, drop: drop, delay: delay}
 	go p.clientLoop()
 	go p.serverLoop()
 	t.Cleanup(func() {
@@ -70,6 +83,16 @@ func (p *lossyProxy) clientLoop() {
 		p.mu.Unlock()
 		if dropIt {
 			continue
+		}
+		if p.delay != nil {
+			if d := p.delay(i); d > 0 {
+				held := append([]byte(nil), buf[:n]...)
+				go func() {
+					time.Sleep(d)
+					p.back.Write(held) //nolint:errcheck
+				}()
+				continue
+			}
 		}
 		if _, err := p.back.Write(buf[:n]); err != nil {
 			return
@@ -206,5 +229,69 @@ func TestDeltaNotAppliedTwiceUnderLoss(t *testing.T) {
 	// If the retry had re-sent the delta, the switch would sit at 500e3.
 	if r, _ := sw.VCRate(9); math.Abs(r-300e3)/300e3 > 1.0/256 {
 		t.Fatalf("switch rate = %v, delta applied twice?", r)
+	}
+}
+
+// TestDelayedDeltaNotAppliedAfterResync is the regression test for the
+// hard-state failure mode Section III-B warns about: the delta cell is
+// *delayed* (not lost) long enough that the client times out and completes
+// the request with an idempotent resync retry — and then the delta arrives.
+// Without per-VC sequence tracking the switch applies the stale delta on
+// top of the resync, leaving the reserved rate at target+delta forever.
+func TestDelayedDeltaNotAppliedAfterResync(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sw := switchfab.New(switchfab.WithMetrics(reg))
+	if err := sw.AddPort(1, 10e6); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve() //nolint:errcheck
+
+	// Datagram 0 is the setup; datagram 1 is the renegotiation's delta
+	// cell. Hold the delta well past the client's retry, so the order on
+	// the wire becomes: setup, resync (retry), delta (stale).
+	const holdFor = 400 * time.Millisecond
+	proxy := newShapingProxy(t, srv.Addr().String(), nil, func(i int) time.Duration {
+		if i == 1 {
+			return holdFor
+		}
+		return 0
+	})
+	cl, err := Dial(proxy.Addr(), WithTimeout(100*time.Millisecond), WithRetries(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Setup(ctx, 9, 1, 100e3); err != nil {
+		t.Fatal(err)
+	}
+	granted, ok, err := cl.Renegotiate(ctx, 9, 100e3, 300e3)
+	if err != nil || !ok {
+		t.Fatalf("renegotiate: %v %v %v", granted, ok, err)
+	}
+	if math.Abs(granted-300e3)/300e3 > 1.0/256 {
+		t.Fatalf("granted = %v, want ~300e3", granted)
+	}
+
+	// Wait for the held delta to reach the switch, then check it was
+	// dropped as a duplicate: the rate must equal the target, not
+	// target+delta (= 500e3, the pre-fix outcome).
+	deadline := time.Now().Add(5 * holdFor)
+	for sw.Stats().DupDrops == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := sw.Stats().DupDrops; got != 1 {
+		t.Fatalf("duplicate drops = %d, want 1 (delayed delta never arrived?)", got)
+	}
+	if r, _ := sw.VCRate(9); math.Abs(r-300e3)/300e3 > 1.0/256 {
+		t.Fatalf("switch rate = %v after delayed delta, want ~300e3 (delta applied twice)", r)
+	}
+	if got := reg.Snapshot().Counters[switchfab.MetricDupDrops]; got != 1 {
+		t.Fatalf("%s = %d, want 1", switchfab.MetricDupDrops, got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"rcbr/internal/metrics"
 	"rcbr/internal/switchfab"
@@ -12,33 +13,56 @@ import (
 
 // Metric names exposed by the signaling server.
 const (
-	MetricServerRx        = "signal.server.datagrams_received"
-	MetricServerTx        = "signal.server.replies_sent"
-	MetricServerBadFrames = "signal.server.bad_frames"
-	MetricServerSetups    = "signal.server.setup_requests"
-	MetricServerTeardowns = "signal.server.teardown_requests"
-	MetricServerRM        = "signal.server.rm_requests"
-	MetricServerErrors    = "signal.server.error_replies"
+	MetricServerRx         = "signal.server.datagrams_received"
+	MetricServerTx         = "signal.server.replies_sent"
+	MetricServerBadFrames  = "signal.server.bad_frames"
+	MetricServerSetups     = "signal.server.setup_requests"
+	MetricServerTeardowns  = "signal.server.teardown_requests"
+	MetricServerRM         = "signal.server.rm_requests"
+	MetricServerErrors     = "signal.server.error_replies"
+	MetricServerDropped    = "signal.server.dropped_datagrams"
+	MetricServerReadErrors = "signal.server.read_errors"
+)
+
+// Worker-pool defaults and the read-error backoff bounds.
+const (
+	DefaultWorkers = 4
+	DefaultQueue   = 256
+
+	readErrBackoffMin = time.Millisecond
+	readErrBackoffMax = 100 * time.Millisecond
 )
 
 // serverInstruments caches the server's registry handles; nil fields are
 // no-ops.
 type serverInstruments struct {
-	rx        *metrics.Counter
-	tx        *metrics.Counter
-	badFrames *metrics.Counter
-	setups    *metrics.Counter
-	teardowns *metrics.Counter
-	rm        *metrics.Counter
-	errors    *metrics.Counter
+	rx         *metrics.Counter
+	tx         *metrics.Counter
+	badFrames  *metrics.Counter
+	setups     *metrics.Counter
+	teardowns  *metrics.Counter
+	rm         *metrics.Counter
+	errors     *metrics.Counter
+	dropped    *metrics.Counter
+	readErrors *metrics.Counter
 }
 
 // Server serves RCBR signaling over UDP for one switch.
+//
+// Serve runs one reader goroutine feeding a bounded queue of datagrams to a
+// pool of handler workers, so a slow request (or a burst on one VC) does not
+// stall the others; when the queue is full the datagram is dropped and
+// counted (signal.server.dropped_datagrams) rather than buffered without
+// bound — the client's retry path recovers, exactly as it does from network
+// loss. Transient socket read errors are counted, logged, and retried with a
+// short exponential backoff; Serve returns only after Close.
 type Server struct {
-	sw   *switchfab.Switch
-	conn net.PacketConn
-	log  *log.Logger
-	ins  serverInstruments
+	sw      *switchfab.Switch
+	conn    net.PacketConn
+	log     *log.Logger
+	ins     serverInstruments
+	workers int
+	queue   int
 
 	mu     sync.Mutex
 	closed bool
@@ -55,6 +79,28 @@ func WithLogger(logger *log.Logger) ServerOption {
 	return func(s *Server) { s.log = logger }
 }
 
+// WithWorkers sets the number of concurrent datagram handlers (default
+// DefaultWorkers). One worker reproduces the strictly serial
+// read-handle-write behavior, with the queue absorbing bursts.
+func WithWorkers(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithQueue bounds the backlog of received-but-unhandled datagrams (default
+// DefaultQueue). When the queue is full further datagrams are dropped and
+// counted, not buffered without bound.
+func WithQueue(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.queue = n
+		}
+	}
+}
+
 // WithServerMetrics publishes the server's datagram and per-request-type
 // counters into reg.
 func WithServerMetrics(reg *metrics.Registry) ServerOption {
@@ -63,13 +109,15 @@ func WithServerMetrics(reg *metrics.Registry) ServerOption {
 			return
 		}
 		s.ins = serverInstruments{
-			rx:        reg.Counter(MetricServerRx),
-			tx:        reg.Counter(MetricServerTx),
-			badFrames: reg.Counter(MetricServerBadFrames),
-			setups:    reg.Counter(MetricServerSetups),
-			teardowns: reg.Counter(MetricServerTeardowns),
-			rm:        reg.Counter(MetricServerRM),
-			errors:    reg.Counter(MetricServerErrors),
+			rx:         reg.Counter(MetricServerRx),
+			tx:         reg.Counter(MetricServerTx),
+			badFrames:  reg.Counter(MetricServerBadFrames),
+			setups:     reg.Counter(MetricServerSetups),
+			teardowns:  reg.Counter(MetricServerTeardowns),
+			rm:         reg.Counter(MetricServerRM),
+			errors:     reg.Counter(MetricServerErrors),
+			dropped:    reg.Counter(MetricServerDropped),
+			readErrors: reg.Counter(MetricServerReadErrors),
 		}
 	}
 }
@@ -81,45 +129,115 @@ func NewServer(addr string, sw *switchfab.Switch, opts ...ServerOption) (*Server
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{sw: sw, conn: conn, done: make(chan struct{})}
+	return NewServerWithConn(conn, sw, opts...), nil
+}
+
+// NewServerWithConn wraps an already-open packet connection (a custom
+// transport, or a fake in tests). The server owns conn: Close closes it.
+func NewServerWithConn(conn net.PacketConn, sw *switchfab.Switch, opts ...ServerOption) *Server {
+	s := &Server{
+		sw:      sw,
+		conn:    conn,
+		workers: DefaultWorkers,
+		queue:   DefaultQueue,
+		done:    make(chan struct{}),
+	}
 	for _, opt := range opts {
 		if opt != nil {
 			opt(s)
 		}
 	}
-	return s, nil
+	return s
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
 
+// job is one received datagram awaiting a handler worker. buf is the pooled
+// backing array; data the received bytes within it.
+type job struct {
+	buf  *[]byte
+	data []byte
+	from net.Addr
+}
+
 // Serve processes datagrams until Close. It always returns a non-nil error;
-// after Close the error wraps net.ErrClosed.
+// after Close the error wraps net.ErrClosed. Transient read errors do not
+// stop the server (they are counted, logged, and paced by a short backoff).
 func (s *Server) Serve() error {
-	buf := make([]byte, maxFrame)
+	pool := sync.Pool{New: func() any {
+		b := make([]byte, maxFrame)
+		return &b
+	}}
+	jobs := make(chan job, s.queue)
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				reply := s.handle(j.data)
+				pool.Put(j.buf)
+				if reply == nil {
+					continue
+				}
+				if _, err := s.conn.WriteTo(reply, j.from); err != nil {
+					if s.log != nil {
+						s.log.Printf("netproto: write to %v: %v", j.from, err)
+					}
+				} else {
+					s.ins.tx.Inc()
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	backoff := time.Duration(0)
 	for {
-		n, from, err := s.conn.ReadFrom(buf)
+		bufp := pool.Get().(*[]byte)
+		n, from, err := s.conn.ReadFrom(*bufp)
 		if err != nil {
+			pool.Put(bufp)
 			select {
 			case <-s.done:
 				return net.ErrClosed
 			default:
 			}
+			if errors.Is(err, net.ErrClosed) {
+				// The socket is gone for good; nothing left to serve.
+				return err
+			}
+			s.ins.readErrors.Inc()
 			if s.log != nil {
 				s.log.Printf("netproto: read: %v", err)
 			}
-			return err
-		}
-		s.ins.rx.Inc()
-		reply := s.handle(buf[:n])
-		if reply != nil {
-			if _, err := s.conn.WriteTo(reply, from); err != nil {
-				if s.log != nil {
-					s.log.Printf("netproto: write to %v: %v", from, err)
-				}
-			} else {
-				s.ins.tx.Inc()
+			// Repeated failures back off exponentially so a wedged socket
+			// does not spin the reader; any success resets the pacing.
+			if backoff < readErrBackoffMin {
+				backoff = readErrBackoffMin
+			} else if backoff *= 2; backoff > readErrBackoffMax {
+				backoff = readErrBackoffMax
 			}
+			select {
+			case <-s.done:
+				return net.ErrClosed
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		backoff = 0
+		s.ins.rx.Inc()
+		select {
+		case jobs <- job{buf: bufp, data: (*bufp)[:n], from: from}:
+		default:
+			// Queue full: shed load here, bounded, and let the client
+			// retry — graceful degradation instead of unbounded growth.
+			pool.Put(bufp)
+			s.ins.dropped.Inc()
 		}
 	}
 }
@@ -131,7 +249,8 @@ func (s *Server) errReply(reqID uint32, err error) []byte {
 }
 
 // handle processes one datagram and returns the reply (nil to stay silent,
-// e.g. for garbage that cannot even be attributed to a request).
+// e.g. for garbage that cannot even be attributed to a request). It is
+// called concurrently by the worker pool; the switch provides the locking.
 func (s *Server) handle(b []byte) []byte {
 	f, err := ParseFrame(b)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"rcbr/internal/cell"
 	"rcbr/internal/metrics"
 )
 
@@ -155,6 +156,90 @@ func TestMetricsMirrorSwitchState(t *testing.T) {
 	deny := ring.Events()[2]
 	if deny.Requested != 2e6 || deny.Rate != 900e3 {
 		t.Fatalf("deny event %+v", deny)
+	}
+}
+
+// TestResyncEventsAndLatencyAccounting checks the instrumentation contract
+// of HandleRM: resync grants are traced as resync events (not plain
+// renegotiation grants), duplicate drops hit their counter without faking a
+// renegotiation attempt, and the latency histogram records one observation
+// per HandleRM/Renegotiate call past argument validation — grant, deny,
+// duplicate drop, and missing-VC error alike.
+func TestResyncEventsAndLatencyAccounting(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ring := metrics.NewEventRing(16)
+	sw := New(WithMetrics(reg), WithEventTrace(ring))
+	if err := sw.AddPort(1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Setup(4, 1, 100e3); err != nil {
+		t.Fatal(err)
+	}
+	h := cell.Header{VCI: 4, PTI: cell.PTIRM}
+
+	calls := 0
+	// Delta grant, resync grant, duplicate drop, over-capacity resync deny.
+	if resp, err := sw.HandleRM(h, cell.RM{ER: 100e3, Seq: 1}); err != nil || resp.Deny {
+		t.Fatalf("delta: %+v %v", resp, err)
+	}
+	calls++
+	if resp, err := sw.HandleRM(h, cell.RM{ER: 300e3, Resync: true, Seq: 2}); err != nil || resp.Deny {
+		t.Fatalf("resync: %+v %v", resp, err)
+	}
+	calls++
+	if resp, err := sw.HandleRM(h, cell.RM{ER: 100e3, Seq: 1}); err != nil || resp.Deny {
+		t.Fatalf("dup: %+v %v", resp, err)
+	}
+	calls++
+	if resp, err := sw.HandleRM(h, cell.RM{ER: 5e6, Resync: true, Seq: 3}); err != nil || !resp.Deny {
+		t.Fatalf("oversubscribed resync not denied: %+v %v", resp, err)
+	}
+	calls++
+	// Error paths past validation observe latency too.
+	if _, err := sw.HandleRM(cell.Header{VCI: 99}, cell.RM{ER: 1, Seq: 1}); err == nil {
+		t.Fatal("missing VC accepted")
+	}
+	calls++
+	if _, _, err := sw.Renegotiate(99, 1e3); err == nil {
+		t.Fatal("missing VC accepted")
+	}
+	calls++
+
+	s := reg.Snapshot()
+	if got := s.Counters[MetricDupDrops]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricDupDrops, got)
+	}
+	if got := s.Counters[MetricResyncs]; got != 2 {
+		t.Fatalf("%s = %d, want 2 (denied resync still counts the attempt)", MetricResyncs, got)
+	}
+	// Attempts: delta grant + resync grant + denied resync. The dup drop and
+	// the missing-VC errors never reach the decision.
+	if got := s.Counters[MetricRenegs]; got != 3 {
+		t.Fatalf("%s = %d, want 3", MetricRenegs, got)
+	}
+	if got := s.Histograms[MetricRenegLatency].Count; got != int64(calls) {
+		t.Fatalf("latency observations = %d, want %d (one per call past validation)", got, calls)
+	}
+
+	var kinds []metrics.EventKind
+	for _, e := range ring.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []metrics.EventKind{
+		metrics.EventSetup, metrics.EventRenegGrant, metrics.EventResync,
+		metrics.EventRenegDeny,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	resync := ring.Events()[2]
+	if resync.VCI != 4 || resync.Rate != 300e3 {
+		t.Fatalf("resync event %+v", resync)
 	}
 }
 

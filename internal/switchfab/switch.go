@@ -13,6 +13,24 @@
 // mirroring the paper's split between heavyweight setup and lightweight
 // renegotiation.
 //
+// Concurrency: the switch uses two lock levels so renegotiations on
+// different output ports never contend. The VC table is guarded by an
+// RWMutex taken shared on the renegotiation hot path and exclusively only by
+// setup/teardown; each port has its own mutex guarding its reservation and
+// the rates (and RM sequence state) of the VCs homed on it. Lock order is
+// always VC table before port. Activity counters are atomics, so the shared
+// table lock is the only point of contact between renegotiations — and it is
+// reader-shared there.
+//
+// RM-cell sequence numbers: delta cells are not idempotent, so the switch
+// tracks the last-seen sequence number per VC and drops a sequenced delta
+// cell at or below it (a delayed duplicate whose effect was superseded by
+// the sender's idempotent resync retry), acknowledging with the current
+// absolute rate instead. Resync cells carry absolute rates, so they are
+// always applied and reset the per-VC sequence — which also lets a restarted
+// source (sequence counter back at 1) re-adopt a VC. Seq 0 marks an
+// unsequenced (legacy) cell and bypasses the check.
+//
 // Construction uses functional options (WithAdmitter, WithMetrics,
 // WithEventTrace); observability is opt-in and free when absent, because
 // every instrument is nil-safe and cached at construction time — the
@@ -24,6 +42,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcbr/internal/cell"
@@ -43,7 +62,7 @@ var (
 
 // Admitter is the call-admission hook consulted at setup time (never during
 // renegotiation). Implementations may be stateful; the switch serializes
-// calls under its lock.
+// calls under its exclusive setup lock.
 type Admitter interface {
 	// AdmitCall reports whether a new call asking for rate bits/second may
 	// enter a port with the given reserved and capacity figures.
@@ -66,10 +85,30 @@ type Stats struct {
 	Renegotiations int64
 	Denials        int64
 	Resyncs        int64
+	// DupDrops counts sequenced delta RM cells dropped as delayed
+	// duplicates (see HandleRM).
+	DupDrops int64
+}
+
+// statCounters is the live (atomic) form of Stats, safe to bump from
+// concurrent per-port renegotiations.
+type statCounters struct {
+	setups         atomic.Int64
+	setupRejects   atomic.Int64
+	teardowns      atomic.Int64
+	renegotiations atomic.Int64
+	denials        atomic.Int64
+	resyncs        atomic.Int64
+	dupDrops       atomic.Int64
 }
 
 type port struct {
+	id       int
 	capacity float64
+
+	// mu guards reserved and the rate/sequence state of every VC homed on
+	// this port, so renegotiations on different ports never contend.
+	mu       sync.Mutex
 	reserved float64
 
 	// reservedGauge mirrors reserved into the metrics registry; nil (a
@@ -79,7 +118,10 @@ type port struct {
 
 type vcState struct {
 	port int
-	rate float64
+	// rate, lastSeq, and seqSeen are guarded by the owning port's mutex.
+	rate    float64
+	lastSeq uint32
+	seqSeen bool
 }
 
 // instruments caches the switch's registry handles. All fields are nil-safe
@@ -93,6 +135,7 @@ type instruments struct {
 	grants       *metrics.Counter
 	denials      *metrics.Counter
 	resyncs      *metrics.Counter
+	dupDrops     *metrics.Counter
 	renegLatency *metrics.Histogram
 }
 
@@ -105,6 +148,7 @@ const (
 	MetricGrants       = "switch.renegotiation_grants"
 	MetricDenials      = "switch.renegotiation_denials"
 	MetricResyncs      = "switch.resyncs"
+	MetricDupDrops     = "switch.rm_duplicates_dropped"
 	MetricRenegLatency = "switch.renegotiation_seconds"
 )
 
@@ -119,13 +163,18 @@ func PortCapacityGauge(portID int) string {
 	return fmt.Sprintf("switch.port.%d.capacity_bps", portID)
 }
 
-// Switch is a software RCBR switch. It is safe for concurrent use.
+// Switch is a software RCBR switch. It is safe for concurrent use;
+// renegotiations contend only when they share an output port.
 type Switch struct {
-	mu       sync.Mutex
-	ports    map[int]*port
-	vcs      map[uint16]*vcState
+	// mu guards the ports and vcs maps. Renegotiation takes it shared (so
+	// teardown cannot free a VC out from under an in-flight RM cell);
+	// setup, teardown, and port registration take it exclusively.
+	mu    sync.RWMutex
+	ports map[int]*port
+	vcs   map[uint16]*vcState
+
 	admitter Admitter
-	stats    Stats
+	stats    statCounters
 
 	reg    *metrics.Registry
 	ins    instruments
@@ -150,7 +199,7 @@ func WithMetrics(reg *metrics.Registry) Option {
 }
 
 // WithEventTrace records per-VC lifecycle events (setup, renegotiate-grant,
-// renegotiate-deny, teardown, ...) into ring.
+// renegotiate-deny, resync, teardown, ...) into ring.
 func WithEventTrace(ring *metrics.EventRing) Option {
 	return func(s *Switch) { s.events = ring }
 }
@@ -176,6 +225,7 @@ func New(opts ...Option) *Switch {
 			grants:       s.reg.Counter(MetricGrants),
 			denials:      s.reg.Counter(MetricDenials),
 			resyncs:      s.reg.Counter(MetricResyncs),
+			dupDrops:     s.reg.Counter(MetricDupDrops),
 			renegLatency: s.reg.Histogram(MetricRenegLatency, metrics.DefBuckets),
 		}
 	}
@@ -192,7 +242,7 @@ func (s *Switch) AddPort(id int, capacity float64) error {
 	if _, ok := s.ports[id]; ok {
 		return fmt.Errorf("%w: %d", ErrPortExists, id)
 	}
-	p := &port{capacity: capacity}
+	p := &port{id: id, capacity: capacity}
 	if s.reg != nil {
 		s.reg.Gauge(PortCapacityGauge(id)).Set(capacity)
 		p.reservedGauge = s.reg.Gauge(PortReservedGauge(id))
@@ -203,6 +253,7 @@ func (s *Switch) AddPort(id int, capacity float64) error {
 }
 
 // setReserved updates a port's reservation and its mirrored gauge together.
+// The port's mutex must be held.
 func (p *port) setReserved(v float64) {
 	if v < 0 {
 		v = 0
@@ -227,25 +278,27 @@ func (s *Switch) Setup(vci uint16, portID int, rate float64) error {
 	if _, ok := s.vcs[vci]; ok {
 		return fmt.Errorf("%w: %d", ErrVCExists, vci)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.reserved+rate > p.capacity {
-		s.rejectSetupLocked(vci, portID, rate)
+		s.rejectSetup(vci, portID, rate)
 		return fmt.Errorf("%w: port %d has %g of %g reserved",
 			ErrCapacity, portID, p.reserved, p.capacity)
 	}
 	if s.admitter != nil && !s.admitter.AdmitCall(portID, rate, p.reserved, p.capacity) {
-		s.rejectSetupLocked(vci, portID, rate)
+		s.rejectSetup(vci, portID, rate)
 		return ErrAdmission
 	}
 	p.setReserved(p.reserved + rate)
 	s.vcs[vci] = &vcState{port: portID, rate: rate}
-	s.stats.Setups++
+	s.stats.setups.Add(1)
 	s.ins.setups.Inc()
 	s.events.Record(metrics.Event{Kind: metrics.EventSetup, VCI: vci, Port: portID, Rate: rate})
 	return nil
 }
 
-func (s *Switch) rejectSetupLocked(vci uint16, portID int, rate float64) {
-	s.stats.SetupRejects++
+func (s *Switch) rejectSetup(vci uint16, portID int, rate float64) {
+	s.stats.setupRejects.Add(1)
 	s.ins.setupRejects.Inc()
 	s.events.Record(metrics.Event{
 		Kind: metrics.EventSetupReject, VCI: vci, Port: portID, Requested: rate,
@@ -261,12 +314,24 @@ func (s *Switch) Teardown(vci uint16) error {
 		return fmt.Errorf("%w: %d", ErrNoVC, vci)
 	}
 	p := s.ports[vc.port]
+	p.mu.Lock()
 	p.setReserved(p.reserved - vc.rate)
+	p.mu.Unlock()
 	delete(s.vcs, vci)
-	s.stats.Teardowns++
+	s.stats.teardowns.Add(1)
 	s.ins.teardowns.Inc()
 	s.events.Record(metrics.Event{Kind: metrics.EventTeardown, VCI: vci, Port: vc.port})
 	return nil
+}
+
+// lookupVC resolves a VC and its port under the shared table lock. The
+// caller must hold s.mu (shared or exclusive).
+func (s *Switch) lookupVC(vci uint16) (*vcState, *port, error) {
+	vc, exists := s.vcs[vci]
+	if !exists {
+		return nil, nil, fmt.Errorf("%w: %d", ErrNoVC, vci)
+	}
+	return vc, s.ports[vc.port], nil
 }
 
 // Renegotiate applies a rate change request for a VC: the paper's
@@ -277,44 +342,63 @@ func (s *Switch) Renegotiate(vci uint16, newRate float64) (granted float64, ok b
 	if newRate < 0 {
 		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, newRate)
 	}
-	var start time.Time
-	if s.ins.renegLatency != nil {
-		start = time.Now()
+	defer s.observeRenegLatency(s.renegStart())
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vc, p, err := s.lookupVC(vci)
+	if err != nil {
+		return 0, false, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	granted, ok, err = s.renegotiateLocked(vci, newRate)
-	if s.ins.renegLatency != nil {
-		s.ins.renegLatency.ObserveSince(start)
-	}
-	return granted, ok, err
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	granted, ok = s.applyRate(vci, vc, p, newRate, metrics.EventRenegGrant)
+	return granted, ok, nil
 }
 
-func (s *Switch) renegotiateLocked(vci uint16, newRate float64) (float64, bool, error) {
-	vc, exists := s.vcs[vci]
-	if !exists {
-		return 0, false, fmt.Errorf("%w: %d", ErrNoVC, vci)
+// renegStart returns the latency-timer start, or the zero time when the
+// histogram is disabled (so uninstrumented switches skip the clock reads).
+func (s *Switch) renegStart() time.Time {
+	if s.ins.renegLatency == nil {
+		return time.Time{}
 	}
-	p := s.ports[vc.port]
-	s.stats.Renegotiations++
+	return time.Now()
+}
+
+// observeRenegLatency records one renegotiation-latency observation. Both
+// Renegotiate and HandleRM observe on every path past argument validation —
+// grant, deny, duplicate drop, and error alike — so the histogram is a
+// faithful per-request latency record.
+func (s *Switch) observeRenegLatency(start time.Time) {
+	if s.ins.renegLatency == nil || start.IsZero() {
+		return
+	}
+	s.ins.renegLatency.ObserveSince(start)
+}
+
+// applyRate is the paper's one-compare renegotiation decision. It must be
+// called with s.mu held shared (or exclusive) and p.mu held. grantKind is
+// the event recorded on success (renegotiate-grant, or resync when the
+// request carried an absolute rate).
+func (s *Switch) applyRate(vci uint16, vc *vcState, p *port, newRate float64, grantKind metrics.EventKind) (float64, bool) {
+	s.stats.renegotiations.Add(1)
 	s.ins.renegs.Inc()
 	if p.reserved-vc.rate+newRate <= p.capacity {
 		p.setReserved(p.reserved + newRate - vc.rate)
 		vc.rate = newRate
 		s.ins.grants.Inc()
 		s.events.Record(metrics.Event{
-			Kind: metrics.EventRenegGrant, VCI: vci, Port: vc.port, Rate: newRate,
+			Kind: grantKind, VCI: vci, Port: p.id, Rate: newRate,
 		})
-		return newRate, true, nil
+		return newRate, true
 	}
 	// Denied: the source keeps the bandwidth it already has (III-A.1).
-	s.stats.Denials++
+	s.stats.denials.Add(1)
 	s.ins.denials.Inc()
 	s.events.Record(metrics.Event{
-		Kind: metrics.EventRenegDeny, VCI: vci, Port: vc.port,
+		Kind: metrics.EventRenegDeny, VCI: vci, Port: p.id,
 		Rate: vc.rate, Requested: newRate,
 	})
-	return vc.rate, false, nil
+	return vc.rate, false
 }
 
 // HandleRM processes a forward RCBR RM cell and returns the backward cell.
@@ -322,6 +406,13 @@ func (s *Switch) renegotiateLocked(vci uint16, newRate float64) (float64, bool, 
 // assert the absolute rate. The returned cell echoes the request with
 // Backward and Response set, Deny set on failure, and ER carrying the rate
 // now in force (absolute), so the source can resynchronize from any reply.
+//
+// Sequenced delta cells (Seq != 0) at or below the VC's last-seen sequence
+// number are dropped as delayed duplicates — the delta was already
+// superseded by the sender's idempotent resync retry, and applying it again
+// would leave the rate off by the delta forever. The reply to a dropped
+// duplicate carries the current absolute rate with Resync set and is not a
+// denial. Resync cells always apply and reset the per-VC sequence state.
 func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	if m.Backward || m.Response {
 		return cell.RM{}, fmt.Errorf("switchfab: HandleRM on a backward/response cell")
@@ -329,21 +420,37 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	if m.ER < 0 {
 		return cell.RM{}, fmt.Errorf("%w: %g", ErrInvalidRate, m.ER)
 	}
-	var start time.Time
-	if s.ins.renegLatency != nil {
-		start = time.Now()
+	defer s.observeRenegLatency(s.renegStart())
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vc, p, err := s.lookupVC(h.VCI)
+	if err != nil {
+		return cell.RM{}, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vc, exists := s.vcs[h.VCI]
-	if !exists {
-		return cell.RM{}, fmt.Errorf("%w: %d", ErrNoVC, h.VCI)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m.Seq != 0 {
+		if !m.Resync && vc.seqSeen && m.Seq <= vc.lastSeq {
+			s.stats.dupDrops.Add(1)
+			s.ins.dupDrops.Inc()
+			return cell.RM{
+				Backward: true,
+				Response: true,
+				Resync:   true, // ER below is absolute
+				ER:       vc.rate,
+				Seq:      m.Seq,
+			}, nil
+		}
+		vc.lastSeq = m.Seq
+		vc.seqSeen = true
 	}
 	var want float64
+	grantKind := metrics.EventRenegGrant
 	switch {
 	case m.Resync:
 		want = m.ER
-		s.stats.Resyncs++
+		grantKind = metrics.EventResync
+		s.stats.resyncs.Add(1)
 		s.ins.resyncs.Inc()
 	case m.Decrease:
 		want = vc.rate - m.ER
@@ -353,13 +460,7 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	default:
 		want = vc.rate + m.ER
 	}
-	granted, ok, err := s.renegotiateLocked(h.VCI, want)
-	if err != nil {
-		return cell.RM{}, err
-	}
-	if s.ins.renegLatency != nil {
-		s.ins.renegLatency.ObserveSince(start)
-	}
+	granted, ok := s.applyRate(h.VCI, vc, p, want, grantKind)
 	return cell.RM{
 		Backward: true,
 		Response: true,
@@ -372,30 +473,34 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 
 // VCRate returns the reserved rate of a VC.
 func (s *Switch) VCRate(vci uint16) (float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vc, ok := s.vcs[vci]
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", ErrNoVC, vci)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vc, p, err := s.lookupVC(vci)
+	if err != nil {
+		return 0, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return vc.rate, nil
 }
 
 // PortLoad returns a port's reserved rate and capacity.
 func (s *Switch) PortLoad(id int) (reserved, capacity float64, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	p, ok := s.ports[id]
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: %d", ErrNoPort, id)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.reserved, p.capacity, nil
 }
 
 // VCCount returns the number of established VCs.
 func (s *Switch) VCCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.vcs)
 }
 
@@ -409,19 +514,29 @@ type VCInfo struct {
 // VCs returns every established VC sorted by VCI: the backing data of the
 // daemon's /vcs endpoint.
 func (s *Switch) VCs() []VCInfo {
-	s.mu.Lock()
+	s.mu.RLock()
 	out := make([]VCInfo, 0, len(s.vcs))
 	for vci, vc := range s.vcs {
-		out = append(out, VCInfo{VCI: vci, Port: vc.port, Rate: vc.rate})
+		p := s.ports[vc.port]
+		p.mu.Lock()
+		rate := vc.rate
+		p.mu.Unlock()
+		out = append(out, VCInfo{VCI: vci, Port: vc.port, Rate: rate})
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].VCI < out[j].VCI })
 	return out
 }
 
 // Stats returns a snapshot of the activity counters.
 func (s *Switch) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Setups:         s.stats.setups.Load(),
+		SetupRejects:   s.stats.setupRejects.Load(),
+		Teardowns:      s.stats.teardowns.Load(),
+		Renegotiations: s.stats.renegotiations.Load(),
+		Denials:        s.stats.denials.Load(),
+		Resyncs:        s.stats.resyncs.Load(),
+		DupDrops:       s.stats.dupDrops.Load(),
+	}
 }

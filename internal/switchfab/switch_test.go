@@ -234,6 +234,116 @@ func TestHandleRMErrors(t *testing.T) {
 	}
 }
 
+// TestHandleRMSequenceSemantics pins down the per-VC sequence rules: a
+// sequenced delta at or below the last-seen number is dropped as a delayed
+// duplicate (reply carries the absolute current rate, Resync set, no Deny),
+// resync cells always apply and reset the sequence state, and Seq 0 cells
+// bypass the check entirely (legacy unsequenced senders).
+func TestHandleRMSequenceSemantics(t *testing.T) {
+	s := newTestSwitch(t, 1e6)
+	if err := s.Setup(5, 1, 100e3); err != nil {
+		t.Fatal(err)
+	}
+	h := cell.Header{VCI: 5, PTI: cell.PTIRM}
+
+	// Delta Seq 1 applies: 100k + 100k.
+	if resp, err := s.HandleRM(h, cell.RM{ER: 100e3, Seq: 1}); err != nil || resp.Deny {
+		t.Fatalf("delta seq 1: %+v %v", resp, err)
+	}
+	// Resync Seq 2 asserts 300k (the retry after a presumed-lost delta).
+	if resp, err := s.HandleRM(h, cell.RM{ER: 300e3, Resync: true, Seq: 2}); err != nil || resp.Deny {
+		t.Fatalf("resync seq 2: %+v %v", resp, err)
+	}
+
+	// The "lost" delta now arrives late. It must be dropped, not applied.
+	resp, err := s.HandleRM(h, cell.RM{ER: 100e3, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Deny || !resp.Resync || !resp.Backward || !resp.Response || resp.Seq != 1 {
+		t.Fatalf("dup reply = %+v, want non-deny resync echoing seq", resp)
+	}
+	if math.Abs(resp.ER-300e3) > 1 {
+		t.Fatalf("dup reply ER = %v, want current 300e3", resp.ER)
+	}
+	// Seq == lastSeq is equally stale.
+	if resp, err := s.HandleRM(h, cell.RM{ER: 100e3, Seq: 2}); err != nil || resp.Deny || math.Abs(resp.ER-300e3) > 1 {
+		t.Fatalf("dup at lastSeq: %+v %v", resp, err)
+	}
+	if r, _ := s.VCRate(5); math.Abs(r-300e3) > 1 {
+		t.Fatalf("rate after duplicates = %v, want 300e3", r)
+	}
+	st := s.Stats()
+	if st.DupDrops != 2 {
+		t.Fatalf("DupDrops = %d, want 2", st.DupDrops)
+	}
+	// Dropped duplicates are not renegotiation attempts: 1 delta + 1 resync.
+	if st.Renegotiations != 2 {
+		t.Fatalf("Renegotiations = %d, want 2", st.Renegotiations)
+	}
+
+	// A fresh delta above lastSeq still applies.
+	if resp, err := s.HandleRM(h, cell.RM{ER: 50e3, Seq: 3}); err != nil || resp.Deny || math.Abs(resp.ER-350e3) > 1 {
+		t.Fatalf("delta seq 3: %+v %v", resp, err)
+	}
+}
+
+func TestHandleRMResyncResetsSequence(t *testing.T) {
+	// A source that crashes and restarts begins numbering from 1 again. Its
+	// first cell is a resync (absolute rate), which must both apply and
+	// reset the switch's sequence state so the restarted numbering works.
+	s := newTestSwitch(t, 1e6)
+	if err := s.Setup(8, 1, 100e3); err != nil {
+		t.Fatal(err)
+	}
+	h := cell.Header{VCI: 8, PTI: cell.PTIRM}
+	if _, err := s.HandleRM(h, cell.RM{ER: 100e3, Seq: 41}); err != nil {
+		t.Fatal(err)
+	}
+	// Restarted source: resync Seq 1 applies despite 1 <= 41.
+	if resp, err := s.HandleRM(h, cell.RM{ER: 150e3, Resync: true, Seq: 1}); err != nil || resp.Deny {
+		t.Fatalf("restart resync: %+v %v", resp, err)
+	}
+	if r, _ := s.VCRate(8); math.Abs(r-150e3) > 1 {
+		t.Fatalf("rate after restart resync = %v", r)
+	}
+	// And its next delta (Seq 2) is fresh, not a duplicate of the old epoch.
+	if resp, err := s.HandleRM(h, cell.RM{ER: 50e3, Seq: 2}); err != nil || resp.Deny || math.Abs(resp.ER-200e3) > 1 {
+		t.Fatalf("post-restart delta: %+v %v", resp, err)
+	}
+	if st := s.Stats(); st.DupDrops != 0 {
+		t.Fatalf("DupDrops = %d, want 0", st.DupDrops)
+	}
+}
+
+func TestHandleRMSeqZeroBypassesCheck(t *testing.T) {
+	// Seq 0 marks an unsequenced sender: repeated Seq-0 deltas all apply
+	// and never disturb the sequence state of sequenced traffic.
+	s := newTestSwitch(t, 1e6)
+	if err := s.Setup(6, 1, 100e3); err != nil {
+		t.Fatal(err)
+	}
+	h := cell.Header{VCI: 6, PTI: cell.PTIRM}
+	for i := 0; i < 3; i++ {
+		if resp, err := s.HandleRM(h, cell.RM{ER: 100e3}); err != nil || resp.Deny {
+			t.Fatalf("seq-0 delta %d: %+v %v", i, resp, err)
+		}
+	}
+	if r, _ := s.VCRate(6); math.Abs(r-400e3) > 1 {
+		t.Fatalf("rate after three unsequenced deltas = %v, want 400e3", r)
+	}
+	// Interleave a sequenced delta, then another Seq-0: both apply.
+	if resp, err := s.HandleRM(h, cell.RM{ER: 50e3, Seq: 9}); err != nil || resp.Deny {
+		t.Fatalf("sequenced delta: %+v %v", resp, err)
+	}
+	if resp, err := s.HandleRM(h, cell.RM{ER: 50e3}); err != nil || resp.Deny {
+		t.Fatalf("seq-0 after sequenced: %+v %v", resp, err)
+	}
+	if st := s.Stats(); st.DupDrops != 0 {
+		t.Fatalf("DupDrops = %d, want 0", st.DupDrops)
+	}
+}
+
 func TestConcurrentRenegotiationsRespectCapacity(t *testing.T) {
 	const (
 		vcs      = 32

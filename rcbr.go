@@ -272,6 +272,15 @@ func WithSignalServerMetrics(reg *MetricsRegistry) SignalServerOption {
 	return netproto.WithServerMetrics(reg)
 }
 
+// WithSignalWorkers sets how many handlers a SignalServer runs concurrently
+// (default netproto.DefaultWorkers).
+func WithSignalWorkers(n int) SignalServerOption { return netproto.WithWorkers(n) }
+
+// WithSignalQueue sets a SignalServer's pending-datagram queue depth
+// (default netproto.DefaultQueue); datagrams beyond it are dropped and
+// counted rather than buffered without bound.
+func WithSignalQueue(n int) SignalServerOption { return netproto.WithQueue(n) }
+
 // NewSignalServer binds a UDP signaling server for a switch. The logger may
 // be nil; options extend the legacy three-argument form without breaking it.
 func NewSignalServer(addr string, sw *Switch, logger *log.Logger, opts ...SignalServerOption) (*SignalServer, error) {
