@@ -1,0 +1,48 @@
+# Developer entry points mirroring CI (.github/workflows/ci.yml): a change
+# that passes `make lint test race fuzz` locally passes the required CI
+# steps. Keep the two in sync — CI calls the fuzz target directly.
+
+GO ?= go
+
+# Concurrency-sensitive packages run under the race detector in CI.
+RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./cmd/rcbrd/
+
+# Per-fuzz-target smoke budget. `go test -fuzz` takes one target per
+# invocation, hence the explicit list.
+FUZZTIME ?= 10s
+
+.PHONY: all lint test race fuzz bench
+
+all: lint test race
+
+# lint runs the repository's own analyzer suite (cmd/rcbrlint) plus go vet.
+# Staticcheck and govulncheck run in CI at pinned versions; run them locally
+# with `make lint-extra` if they are installed.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/rcbrlint ./...
+
+.PHONY: lint-extra
+lint-extra: lint
+	staticcheck ./...
+	govulncheck ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# fuzz smokes every fuzz target for FUZZTIME each: long enough to catch
+# shallow regressions in the parsers, short enough for every CI run.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/cell/
+	$(GO) test -run '^$$' -fuzz '^FuzzRate16$$' -fuzztime $(FUZZTIME) ./internal/cell/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseFrame$$' -fuzztime $(FUZZTIME) ./internal/netproto/
+	$(GO) test -run '^$$' -fuzz '^FuzzServerHandle$$' -fuzztime $(FUZZTIME) ./internal/netproto/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime $(FUZZTIME) ./internal/trace/
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSignalThroughput -benchtime=1x ./internal/netproto/

@@ -1,0 +1,70 @@
+// Command rcbrlint runs the repository's static-analysis suite (package
+// internal/analysis) over the module: five analyzers enforcing the
+// conventions the concurrent signaling plane depends on — registered
+// metric names, lock scopes that never span blocking calls, context
+// plumbing through the signaling surface, errors.Is sentinel matching,
+// and live event kinds and histograms.
+//
+// Usage:
+//
+//	go run ./cmd/rcbrlint ./...          # what CI runs
+//	go run ./cmd/rcbrlint ./internal/netproto
+//	go run ./cmd/rcbrlint -list          # describe the analyzers
+//
+// rcbrlint prints findings as file:line:col: analyzer: message and exits
+// non-zero if there are any. The cross-package checks (metric-name
+// ownership, event-kind emission liveness) only see the packages named on
+// the command line, so run it over ./... for authoritative results.
+// Individual findings can be suppressed with a
+// "//rcbrlint:ignore <analyzer> <reason>" comment on the flagged line or
+// the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rcbr/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rcbrlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcbrlint:", err)
+		os.Exit(2)
+	}
+	repo, err := analysis.LoadModule(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcbrlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(repo, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcbrlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rcbrlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,237 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// for the rcbr repository, plus the five project-specific analyzers that
+// cmd/rcbrlint runs over it. The PR 1-2 signaling plane rests on
+// conventions the compiler cannot see — metric names must be registered
+// constants, fabric locks must not be held across blocking operations,
+// sentinel errors must survive the UDP wire via errors.Is, exported
+// signaling entry points must thread a context — and at production scale
+// those conventions only hold if a machine checks them. The analyzers are:
+//
+//   - metricname: metric strings passed to the metrics registry are
+//     package-level Metric* constants (or *Counter/*Gauge/*Histogram
+//     helper builders), each name literal declared in exactly one package.
+//   - lockscope: no sync.Mutex/RWMutex is held across a call that can
+//     block (net I/O, channel operations, time.Sleep, WaitGroup.Wait).
+//   - ctxfirst: exported signaling entry points take context.Context
+//     first and pass it down instead of minting context.Background().
+//   - sentinelcmp: sentinel errors are matched with errors.Is, never ==.
+//   - eventkind: every EventKind constant is named and emitted, and every
+//     histogram instrument a package creates is observed by that package.
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, testdata-driven tests)
+// so the analyzers can migrate to the upstream driver wholesale if the
+// module ever takes on that dependency; until then it runs on the standard
+// library alone: go/parser for syntax, go/types for semantics, and export
+// data from `go list -export` for out-of-module imports.
+//
+// False-positive escapes: a finding can be suppressed with a
+//
+//	//rcbrlint:ignore <analyzer> <reason>
+//
+// comment on the flagged line or the line above it (typically the last
+// line of a declaration's doc comment). The reason is mandatory prose for
+// the reviewer; rcbrlint treats a bare directive as malformed and keeps
+// the finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports the analyzer's findings on one package via pass.Reportf.
+	Run func(pass *Pass) error
+	// Tests, when true, keeps diagnostics located in _test.go files;
+	// otherwise the driver drops them (the analyzer still *sees* test
+	// files, so usage-counting checks can consult pass.IsTestFile).
+	Tests bool
+}
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	// Path is the import path ("rcbr/internal/switchfab").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files holds the parsed sources: library files first, then any
+	// in-package test files. External (_test-suffixed) test packages are
+	// not loaded.
+	Files []*ast.File
+	// TestFiles marks, parallel to Files, which entries are _test.go
+	// files.
+	TestFiles []bool
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Repo is the universe of packages a run loaded: the cross-package view
+// used by repo-wide invariants (duplicate metric names, event-kind
+// emission liveness).
+type Repo struct {
+	Fset *token.FileSet
+	// Pkgs maps import path to package, for every module-local package
+	// loaded this run.
+	Pkgs map[string]*Package
+}
+
+// Sorted returns the loaded packages in import-path order, for
+// deterministic iteration.
+func (r *Repo) Sorted() []*Package {
+	out := make([]*Package, 0, len(r.Pkgs))
+	for _, p := range r.Pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	Repo     *Repo
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run executes the analyzers over every package in repo, applies ignore
+// directives and the per-analyzer test-file policy, and returns the
+// surviving findings sorted by position.
+func Run(repo *Repo, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range repo.Sorted() {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: repo.Fset, Pkg: pkg, Repo: repo, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	diags = filterDiagnostics(repo, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// filterDiagnostics drops findings in test files for analyzers that opted
+// out of them, and findings suppressed by an ignore directive.
+func filterDiagnostics(repo *Repo, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	testsOK := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		testsOK[a.Name] = a.Tests
+	}
+	ignores := collectIgnores(repo)
+	out := diags[:0]
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") && !testsOK[d.Analyzer] {
+			continue
+		}
+		if ignores.matches(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// ignoreDirective is one parsed //rcbrlint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+}
+
+// ignoreSet indexes directives by file and line.
+type ignoreSet map[string]map[int]ignoreDirective
+
+const ignorePrefix = "//rcbrlint:ignore"
+
+// collectIgnores parses every //rcbrlint:ignore directive in the repo. A
+// directive must name an analyzer and give a reason; malformed directives
+// are ignored (so the finding they meant to suppress still surfaces).
+func collectIgnores(repo *Repo) ignoreSet {
+	set := make(ignoreSet)
+	for _, pkg := range repo.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+					if len(fields) < 2 {
+						continue // no analyzer or no reason: malformed
+					}
+					pos := repo.Fset.Position(c.Pos())
+					if set[pos.Filename] == nil {
+						set[pos.Filename] = make(map[int]ignoreDirective)
+					}
+					set[pos.Filename][pos.Line] = ignoreDirective{analyzer: fields[0]}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// matches reports whether d is suppressed by a directive on its line or
+// the line directly above it.
+func (s ignoreSet) matches(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := lines[line]; ok && (dir.analyzer == d.Analyzer || dir.analyzer == "all") {
+			return true
+		}
+	}
+	return false
+}

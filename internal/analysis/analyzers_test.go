@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rcbr/internal/analysis"
+	"rcbr/internal/analysis/analysistest"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MetricName, "metricname", "metricname/sub")
+}
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockScope, "lockscope")
+}
+
+// TestCtxFirst also covers the driver's //rcbrlint:ignore directive: the
+// DialLegacy case in the testdata carries one and must stay silent.
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxFirst, "netproto")
+}
+
+// TestSentinelCmp also covers the test-file policy: sentinelcmp declares
+// Tests, so the violation seeded in sentinelcmp_test.go must be reported.
+func TestSentinelCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SentinelCmp, "sentinelcmp")
+}
+
+func TestEventKind(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.EventKind, "eventkind")
+}

@@ -1,0 +1,355 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader produces type-checked packages two ways:
+//
+//   - LoadModule drives `go list -export -deps -test` to discover the
+//     module's packages and the export data of everything outside it, then
+//     parses and type-checks the module packages from source. Module
+//     packages are analyzed together with their in-package _test.go files;
+//     importers see the test-free variant, exactly as the go tool builds
+//     them, so test-only import edges cannot create cycles.
+//
+//   - LoadTree resolves every import inside a self-contained source tree
+//     (testdata/src/<path>), with no access to the standard library or the
+//     surrounding module. Analyzer tests fake the few std packages they
+//     need, which keeps them hermetic and fast.
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	Standard     bool
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
+	DepsErrors   []*struct{ Err string }
+	Incomplete   bool
+	XTestGoFiles []string
+}
+
+// loader caches parsed and type-checked packages for one run.
+type loader struct {
+	fset *token.FileSet
+
+	// Module mode: dirs and files straight from go list; exports holds
+	// export-data paths for out-of-module packages.
+	listed  map[string]*listPackage
+	exports map[string]string
+	gc      types.Importer
+
+	// Tree mode: root of the hermetic tree (imports resolve under
+	// root/src).
+	treeRoot string
+
+	// forImport memoizes the test-free package type-check used to satisfy
+	// imports; forAnalysis memoizes the full (test-inclusive) load.
+	forImport   map[string]*types.Package
+	forAnalysis map[string]*Package
+	loading     map[string]bool // import-cycle guard (tree mode)
+
+	typeErrs []error
+}
+
+// LoadModule loads the module rooted at root: patterns name the packages
+// to analyze (as accepted by go list, e.g. "./..."), and every other
+// module package they pull in is loaded as needed for type information.
+func LoadModule(root string, patterns []string) (*Repo, error) {
+	l := &loader{
+		fset:        token.NewFileSet(),
+		listed:      make(map[string]*listPackage),
+		exports:     make(map[string]string),
+		forImport:   make(map[string]*types.Package),
+		forAnalysis: make(map[string]*Package),
+		loading:     make(map[string]bool),
+	}
+	targets, err := l.goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the dependency graph?)", path)
+		}
+		return os.Open(file)
+	})
+	repo := &Repo{Fset: l.fset, Pkgs: make(map[string]*Package)}
+	for _, path := range targets {
+		pkg, err := l.analyze(path)
+		if err != nil {
+			return nil, err
+		}
+		repo.Pkgs[path] = pkg
+	}
+	if len(l.typeErrs) > 0 {
+		return nil, fmt.Errorf("type errors: %v", summarize(l.typeErrs))
+	}
+	return repo, nil
+}
+
+// LoadTree loads packages from a hermetic source tree: import path p lives
+// in root/src/p, and every import must resolve inside the tree.
+func LoadTree(root string, paths []string) (*Repo, error) {
+	l := &loader{
+		fset:        token.NewFileSet(),
+		treeRoot:    root,
+		forImport:   make(map[string]*types.Package),
+		forAnalysis: make(map[string]*Package),
+		loading:     make(map[string]bool),
+	}
+	repo := &Repo{Fset: l.fset, Pkgs: make(map[string]*Package)}
+	for _, path := range paths {
+		pkg, err := l.analyze(path)
+		if err != nil {
+			return nil, err
+		}
+		repo.Pkgs[path] = pkg
+	}
+	if len(l.typeErrs) > 0 {
+		return nil, fmt.Errorf("type errors: %v", summarize(l.typeErrs))
+	}
+	return repo, nil
+}
+
+// goList runs go list over the patterns plus the full test-inclusive
+// dependency graph, filling l.listed and l.exports, and returns the
+// import paths matched by the patterns themselves.
+func (l *loader) goList(root string, patterns []string) ([]string, error) {
+	const fields = "ImportPath,Dir,Name,Export,Standard,ForTest,GoFiles,TestGoFiles,Module,Error,Incomplete"
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json=" + fields}, patterns...)
+	out, err := runGo(root, args...)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %w", err)
+		}
+		if p.ForTest != "" || strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
+			continue // test variants: the base entry carries what we need
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		cp := p
+		l.listed[p.ImportPath] = &cp
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	// A second, dependency-free listing gives exactly the packages the
+	// patterns matched: the set to analyze.
+	out, err = runGo(root, append([]string{"list", "-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []string
+	dec = json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %w", err)
+		}
+		targets = append(targets, p.ImportPath)
+	}
+	sort.Strings(targets)
+	return targets, nil
+}
+
+func runGo(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// local reports whether path is a package this loader type-checks from
+// source (module package in module mode; everything in tree mode).
+func (l *loader) local(path string) bool {
+	if l.treeRoot != "" {
+		return true
+	}
+	p, ok := l.listed[path]
+	return ok && !p.Standard && p.Module != nil
+}
+
+// sources returns the directory and file names of a local package,
+// split into library and in-package test files.
+func (l *loader) sources(path string) (dir string, libFiles, testFiles []string, err error) {
+	if l.treeRoot != "" {
+		dir = filepath.Join(l.treeRoot, "src", filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("package %q: %w", path, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") {
+				continue
+			}
+			if strings.HasSuffix(name, "_test.go") {
+				testFiles = append(testFiles, name)
+			} else {
+				libFiles = append(libFiles, name)
+			}
+		}
+		return dir, libFiles, testFiles, nil
+	}
+	p, ok := l.listed[path]
+	if !ok {
+		return "", nil, nil, fmt.Errorf("package %q not in go list output", path)
+	}
+	return p.Dir, p.GoFiles, p.TestGoFiles, nil
+}
+
+// parse parses the named files in dir.
+func (l *loader) parse(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks files as package path, recording soft type errors.
+func (l *loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error:    func(err error) { l.typeErrs = append(l.typeErrs, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && pkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// importPkg satisfies an import during type-checking: local packages are
+// type-checked from source (test-free), everything else comes from export
+// data.
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if !l.local(path) {
+		if l.gc == nil {
+			return nil, fmt.Errorf("import %q does not resolve inside the tree", path)
+		}
+		return l.gc.Import(path)
+	}
+	if pkg, ok := l.forImport[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	dir, libFiles, _, err := l.sources(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parse(dir, libFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.check(path, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.forImport[path] = pkg
+	return pkg, nil
+}
+
+// analyze loads a package for analysis: library plus in-package test
+// files, with full type information.
+func (l *loader) analyze(path string) (*Package, error) {
+	if pkg, ok := l.forAnalysis[path]; ok {
+		return pkg, nil
+	}
+	dir, libFiles, testFiles, err := l.sources(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(libFiles)+len(testFiles) == 0 {
+		return nil, fmt.Errorf("package %q has no Go files", path)
+	}
+	files, err := l.parse(dir, append(append([]string{}, libFiles...), testFiles...))
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := l.check(path, files, info)
+	if err != nil {
+		return nil, err
+	}
+	isTest := make([]bool, len(files))
+	for i := range files {
+		isTest[i] = i >= len(libFiles)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, TestFiles: isTest, Types: tpkg, Info: info}
+	l.forAnalysis[path] = pkg
+	return pkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// summarize caps an error list for display.
+func summarize(errs []error) string {
+	const max = 10
+	msgs := make([]string, 0, max+1)
+	for i, err := range errs {
+		if i == max {
+			msgs = append(msgs, fmt.Sprintf("... and %d more", len(errs)-max))
+			break
+		}
+		msgs = append(msgs, err.Error())
+	}
+	return strings.Join(msgs, "; ")
+}

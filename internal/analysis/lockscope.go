@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockScope flags sync.Mutex / sync.RWMutex critical sections that reach
+// a call that can block indefinitely: network I/O (the blocking methods
+// of package net's conns and listeners), channel sends, receives and
+// ranges, selects without a default, time.Sleep, and WaitGroup.Wait. A
+// renegotiation fabric lock held across any of those turns one slow peer
+// into head-of-line blocking for every VC sharing the lock — the exact
+// bug class the PR 2 client rewrite removed by hand.
+//
+// The analysis is a structural walk of each function body, not a full
+// control-flow graph: a lock is considered held from the x.Lock() /
+// x.RLock() statement to the matching x.Unlock() / x.RUnlock() in the
+// same statement list (or to the end of the function when the unlock is
+// deferred), and branches are scanned with a copy of the held set.
+// Operations inside a select that has a default case are treated as
+// non-blocking attempts. Function literals are not entered: a goroutine
+// launched under a lock blocks its own stack, not the lock holder's.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no mutex is held across network I/O, channel operations, sleeps, or other blocking calls",
+	Run:  runLockScope,
+}
+
+// netBlocking lists the methods of package net types treated as blocking.
+var netBlocking = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"ReadFromUDP": true, "WriteToUDP": true, "ReadMsgUDP": true, "WriteMsgUDP": true,
+	"Accept": true, "AcceptTCP": true, "AcceptUnix": true,
+	"Dial": true, "DialContext": true,
+}
+
+func runLockScope(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// stmts walks a statement list in order, tracking which mutexes are held.
+// held maps the rendered receiver expression ("s.mu") to true; callers
+// passing control into a branch hand over a copy.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, name, ok := w.mutexOp(call); ok {
+				switch name {
+				case "Lock", "RLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				return
+			}
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock held for the remainder of the
+		// function: exactly what the walk's fallthrough models, so there
+		// is nothing to do. Other deferred calls run at return time and
+		// are not scanned.
+		return
+	case *ast.GoStmt:
+		// The goroutine body runs on its own stack; launching it does not
+		// block. Argument expressions are evaluated now, though.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+	case *ast.SendStmt:
+		w.blocking(s.Pos(), held, "a channel send")
+		w.checkExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		if t := w.pass.Pkg.Info.TypeOf(s.X); t != nil {
+			if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+				w.blocking(s.X.Pos(), held, "a range over a channel")
+			}
+		}
+		w.checkExpr(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blocking(s.Pos(), held, "a select with no default case")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				// The comm op itself is non-blocking when a default
+				// exists (and already reported once when it does not);
+				// the clause body runs after it either way.
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+// mutexOp decodes x.Lock()/x.Unlock()/x.RLock()/x.RUnlock() where x is a
+// sync.Mutex or sync.RWMutex, returning the rendered receiver.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (recv, method string, ok bool) {
+	recvExpr, fn := methodCall(w.pass.Pkg.Info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := w.pass.Pkg.Info.TypeOf(recvExpr)
+	if !isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(recvExpr), fn.Name(), true
+}
+
+// checkExpr scans an expression for blocking operations while any lock is
+// held. Function literals are skipped: their bodies run later.
+func (w *lockWalker) checkExpr(e ast.Expr, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				w.blocking(n.Pos(), held, "a channel receive")
+			}
+		case *ast.CallExpr:
+			if desc, ok := w.blockingCall(n); ok {
+				w.blocking(n.Pos(), held, desc)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can block indefinitely.
+func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+	info := w.pass.Pkg.Info
+	if pkgFuncCall(info, call, "time", "Sleep") {
+		return "time.Sleep", true
+	}
+	recv, fn := methodCall(info, call)
+	if fn == nil {
+		return "", false
+	}
+	t := namedType(info.TypeOf(recv))
+	if t == nil || t.Obj().Pkg() == nil {
+		return "", false
+	}
+	switch t.Obj().Pkg().Path() {
+	case "net":
+		if netBlocking[fn.Name()] {
+			return "net." + t.Obj().Name() + "." + fn.Name(), true
+		}
+	case "sync":
+		if t.Obj().Name() == "WaitGroup" && fn.Name() == "Wait" {
+			return "sync.WaitGroup.Wait", true
+		}
+	}
+	return "", false
+}
+
+// blocking reports one blocking operation under each held lock.
+func (w *lockWalker) blocking(pos token.Pos, held map[string]bool, what string) {
+	locks := make([]string, 0, len(held))
+	for lock := range held {
+		locks = append(locks, lock)
+	}
+	sort.Strings(locks)
+	for _, lock := range locks {
+		w.pass.Reportf(pos, "%s is held across %s; release the lock first", lock, what)
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SentinelCmp enforces the error-matching contract the signaling plane
+// depends on: sentinel errors cross the UDP wire as error codes and come
+// back *wrapped* (netproto's wireError unwraps to both ErrRemote and the
+// decoded sentinel), so identity comparison with == only works in-process
+// and silently stops matching the moment an error crosses the network or
+// gains a fmt.Errorf("%w") layer. The analyzer flags:
+//
+//   - x == ErrFoo / x != ErrFoo where ErrFoo is a package-level error
+//     variable named Err* (any package, including the standard library);
+//   - switch err { case ErrFoo: } on an error value;
+//   - err.Error() == "..." and friends: matching an error by its text is
+//     the same bug with string formatting drift added.
+//
+// Tests are checked too — an assertion that compares with == passes today
+// and silently stops guarding anything the day the error gains a wrapping
+// layer, which is exactly when it is needed.
+var SentinelCmp = &Analyzer{
+	Name:  "sentinelcmp",
+	Doc:   "sentinel errors are matched with errors.Is, never == or text comparison",
+	Run:   runSentinelCmp,
+	Tests: true,
+}
+
+func runSentinelCmp(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range [2]ast.Expr{n.X, n.Y} {
+					if v := sentinelVar(info, side); v != nil {
+						if isNilLiteral(info, n.X) || isNilLiteral(info, n.Y) {
+							continue // ErrFoo == nil checks the variable, not an error value
+						}
+						pass.Reportf(n.Pos(),
+							"sentinel %s compared with %s; use errors.Is so wrapped and wire-decoded errors still match",
+							v.Name(), n.Op)
+						return true
+					}
+				}
+				if errorTextCmp(info, n.X) || errorTextCmp(info, n.Y) {
+					pass.Reportf(n.Pos(),
+						"error matched by its text; compare the sentinel with errors.Is instead of Error() strings")
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(info.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinelVar(info, e); v != nil {
+							pass.Reportf(e.Pos(),
+								"sentinel %s matched in a switch on an error; use errors.Is so wrapped errors still match",
+								v.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNilLiteral reports whether e is the predeclared nil.
+func isNilLiteral(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// errorTextCmp reports whether e is a call of the error interface's
+// Error() method: the telltale half of an error-text comparison.
+func errorTextCmp(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	recv, fn := methodCall(info, call)
+	if fn == nil || fn.Name() != "Error" {
+		return false
+	}
+	return isErrorType(info.TypeOf(recv))
+}

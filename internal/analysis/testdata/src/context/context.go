@@ -1,0 +1,14 @@
+// Package context fakes the context surface ctxfirst matches structurally.
+package context
+
+type Context interface {
+	Err() error
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Err() error { return nil }
+
+func Background() Context { return emptyCtx{} }
+
+func TODO() Context { return emptyCtx{} }

@@ -1,0 +1,10 @@
+// Package errors fakes errors.New and errors.Is for sentinelcmp tests.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error { return &errorString{text} }
+
+func Is(err, target error) bool { return err == target }

@@ -1,0 +1,94 @@
+// Package lockscope exercises the lockscope analyzer: no mutex held
+// across network I/O, channel operations, sleeps, selects without a
+// default, or WaitGroup.Wait.
+package lockscope
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type fabric struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn *net.Conn
+	ch   chan int
+	wg   sync.WaitGroup
+}
+
+func (f *fabric) netUnderLock() {
+	f.mu.Lock()
+	f.conn.Write(nil) // want "f.mu is held across net.Conn.Write"
+	f.mu.Unlock()
+}
+
+func (f *fabric) sleepUnderDeferredUnlock() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	time.Sleep(5) // want "f.mu is held across time.Sleep"
+}
+
+func (f *fabric) channelOpsUnderRLock() {
+	f.rw.RLock()
+	f.ch <- 1 // want "f.rw is held across a channel send"
+	<-f.ch    // want "f.rw is held across a channel receive"
+	f.rw.RUnlock()
+}
+
+func (f *fabric) selectUnderLock() {
+	f.mu.Lock()
+	select { // want "a select with no default case"
+	case v := <-f.ch:
+		_ = v
+	}
+	f.mu.Unlock()
+}
+
+func (f *fabric) waitUnderLock() {
+	f.mu.Lock()
+	f.wg.Wait() // want "sync.WaitGroup.Wait"
+	f.mu.Unlock()
+}
+
+func (f *fabric) rangeUnderLock() {
+	f.mu.Lock()
+	for v := range f.ch { // want "a range over a channel"
+		_ = v
+	}
+	f.mu.Unlock()
+}
+
+func (f *fabric) releaseBeforeBlocking() {
+	f.mu.Lock()
+	f.mu.Unlock()
+	f.conn.Write(nil)
+	<-f.ch
+}
+
+func (f *fabric) nonBlockingSelect() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case f.ch <- 1:
+	default:
+	}
+}
+
+func (f *fabric) branchReleases() {
+	f.mu.Lock()
+	if len(f.ch) == 0 {
+		f.mu.Unlock()
+		<-f.ch
+		return
+	}
+	f.mu.Unlock()
+}
+
+func (f *fabric) goroutineUnderLock() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	go func() {
+		<-f.ch
+	}()
+}

@@ -1,0 +1,41 @@
+// Package netproto exercises the ctxfirst analyzer, which applies to
+// packages whose basename is netproto or rcbr: exported entry points take
+// context.Context first and propagate it instead of minting their own.
+package netproto
+
+import "context"
+
+type Client struct{}
+
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	return &Client{}, ctx.Err()
+}
+
+func Dial(addr string) (*Client, error) { // want "calls a context-aware function"
+	return DialContext(context.Background(), addr)
+}
+
+//rcbrlint:ignore ctxfirst deliberate context-free constructor kept for API compatibility
+func DialLegacy(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+func Connect(addr string, ctx context.Context) error { // want "not as its first parameter"
+	_, err := DialContext(ctx, addr)
+	return err
+}
+
+func (c *Client) Reconnect(ctx context.Context, addr string) error {
+	fresh := context.Background() // want "pass the caller's context down"
+	_, err := DialContext(fresh, addr)
+	return err
+}
+
+func redial(addr string) (*Client, error) {
+	return DialContext(context.TODO(), addr)
+}
+
+func Resolve(ctx context.Context, addr string) error {
+	_, err := DialContext(ctx, addr)
+	return err
+}

@@ -1,0 +1,37 @@
+// Package sentinelcmp exercises the sentinelcmp analyzer: sentinel errors
+// are matched with errors.Is, never identity comparison or error text.
+package sentinelcmp
+
+import "errors"
+
+var ErrDrained = errors.New("drained")
+
+var fallback = errors.New("fallback")
+
+func classify(err error) int {
+	if err == ErrDrained { // want "use errors.Is"
+		return 1
+	}
+	if ErrDrained != err { // want "use errors.Is"
+		return 2
+	}
+	if err.Error() == "drained" { // want "error matched by its text"
+		return 3
+	}
+	switch err {
+	case ErrDrained: // want "switch on an error"
+		return 4
+	case nil:
+		return 5
+	}
+	if err == fallback {
+		return 6
+	}
+	if ErrDrained == nil {
+		return 7
+	}
+	if errors.Is(err, ErrDrained) {
+		return 8
+	}
+	return 0
+}

@@ -1,0 +1,8 @@
+package sentinelcmp
+
+// sentinelcmp runs over test files too: an == assertion passes today and
+// silently stops guarding anything once the error gains a wrapping layer.
+
+func assertDrained(err error) bool {
+	return err == ErrDrained // want "use errors.Is"
+}

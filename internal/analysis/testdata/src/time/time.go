@@ -1,0 +1,6 @@
+// Package time fakes time.Sleep for lockscope tests.
+package time
+
+type Duration int64
+
+func Sleep(d Duration) {}

@@ -152,6 +152,8 @@ const (
 	ErrCodeVCExists
 	ErrCodeInvalidRate
 	ErrCodeProto
+	ErrCodePortExists
+	ErrCodeVersion
 )
 
 // wireSentinels pairs each non-generic code with its sentinel; the table
@@ -164,6 +166,8 @@ var wireSentinels = map[uint8]error{
 	ErrCodeVCExists:    switchfab.ErrVCExists,
 	ErrCodeInvalidRate: switchfab.ErrInvalidRate,
 	ErrCodeProto:       ErrFrame,
+	ErrCodePortExists:  switchfab.ErrPortExists,
+	ErrCodeVersion:     ErrVersion,
 }
 
 // errCode maps an error onto its wire code (ErrCodeGeneric when no sentinel

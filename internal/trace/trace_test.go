@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -37,7 +38,7 @@ func TestEmptyTrace(t *testing.T) {
 	if tr.MeanRate() != 0 || tr.PeakFrameRate() != 0 {
 		t.Fatal("empty trace stats must be zero")
 	}
-	if _, err := tr.Summarize(); err != ErrEmpty {
+	if _, err := tr.Summarize(); !errors.Is(err, ErrEmpty) {
 		t.Fatalf("Summarize error = %v, want ErrEmpty", err)
 	}
 }

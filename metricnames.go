@@ -1,0 +1,66 @@
+package rcbr
+
+import (
+	"rcbr/internal/heuristic"
+	"rcbr/internal/netproto"
+	"rcbr/internal/switchfab"
+)
+
+// Metric names, re-exported for Snapshot lookups and dashboard wiring.
+//
+// Each name is owned by exactly one internal package — the one that
+// registers the instrument — and every other package (this facade
+// included) re-exports the owning constant instead of redeclaring the
+// string. rcbrlint's metricname analyzer enforces both halves: names come
+// from Metric* constants, and a literal declared in two packages is a
+// finding. That keeps the README metric tables, the facade, and the
+// instrumented code pointing at the same strings forever.
+const (
+	// Switch fabric (owner: internal/switchfab).
+	MetricSwitchSetups       = switchfab.MetricSetups
+	MetricSwitchSetupRejects = switchfab.MetricSetupRejects
+	MetricSwitchTeardowns    = switchfab.MetricTeardowns
+	MetricSwitchRenegs       = switchfab.MetricRenegs
+	MetricSwitchGrants       = switchfab.MetricGrants
+	MetricSwitchDenials      = switchfab.MetricDenials
+	MetricSwitchResyncs      = switchfab.MetricResyncs
+	MetricSwitchDupDrops     = switchfab.MetricDupDrops
+	MetricSwitchRenegLatency = switchfab.MetricRenegLatency
+
+	// Signaling client (owner: internal/netproto).
+	MetricSignalClientRequests = netproto.MetricClientRequests
+	MetricSignalClientSent     = netproto.MetricClientSent
+	MetricSignalClientRecv     = netproto.MetricClientRecv
+	MetricSignalClientRetries  = netproto.MetricClientRetries
+	MetricSignalClientTimeouts = netproto.MetricClientTimeouts
+	MetricSignalClientRMSent   = netproto.MetricClientRMSent
+	MetricSignalClientRMRecv   = netproto.MetricClientRMRecv
+	MetricSignalClientRTT      = netproto.MetricClientRTT
+
+	// Signaling server (owner: internal/netproto).
+	MetricSignalServerRx         = netproto.MetricServerRx
+	MetricSignalServerTx         = netproto.MetricServerTx
+	MetricSignalServerBadFrames  = netproto.MetricServerBadFrames
+	MetricSignalServerSetups     = netproto.MetricServerSetups
+	MetricSignalServerTeardowns  = netproto.MetricServerTeardowns
+	MetricSignalServerRM         = netproto.MetricServerRM
+	MetricSignalServerErrors     = netproto.MetricServerErrors
+	MetricSignalServerDropped    = netproto.MetricServerDropped
+	MetricSignalServerReadErrors = netproto.MetricServerReadErrors
+
+	// Renegotiation heuristic (owner: internal/heuristic).
+	MetricHeuristicTriggers      = heuristic.MetricTriggers
+	MetricHeuristicFailures      = heuristic.MetricFailures
+	MetricHeuristicHighCrossings = heuristic.MetricHighCrossings
+	MetricHeuristicLowCrossings  = heuristic.MetricLowCrossings
+	MetricHeuristicRateGauge     = heuristic.MetricRateGauge
+	MetricHeuristicOccupancy     = heuristic.MetricOccupancy
+)
+
+// SwitchPortReservedGauge returns the per-port reserved-rate gauge name
+// ("switch.port.<n>.reserved_bps").
+func SwitchPortReservedGauge(port int) string { return switchfab.PortReservedGauge(port) }
+
+// SwitchPortCapacityGauge returns the per-port capacity gauge name
+// ("switch.port.<n>.capacity_bps").
+func SwitchPortCapacityGauge(port int) string { return switchfab.PortCapacityGauge(port) }
