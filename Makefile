@@ -4,14 +4,16 @@
 
 GO ?= go
 
-# Concurrency-sensitive packages run under the race detector in CI.
+# Concurrency-sensitive packages run under the race detector in CI. The
+# trellis and experiments packages gained worker pools; their parallel and
+# sweep tests run raced via race-parallel below.
 RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./cmd/rcbrd/
 
 # Per-fuzz-target smoke budget. `go test -fuzz` takes one target per
 # invocation, hence the explicit list.
 FUZZTIME ?= 10s
 
-.PHONY: all lint test race fuzz bench
+.PHONY: all lint test race race-parallel fuzz bench bench-json bench-speedup
 
 all: lint test race
 
@@ -33,6 +35,13 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(MAKE) race-parallel
+
+# race-parallel covers the worker pools added for the parallel optimizer
+# and the experiment sweep runner.
+race-parallel:
+	$(GO) test -race -run 'Parallel' ./internal/trellis/
+	$(GO) test -race -run 'Sweep|Fig|MBAC|Latency|Chernoff' ./internal/experiments/
 
 # fuzz smokes every fuzz target for FUZZTIME each: long enough to catch
 # shallow regressions in the parsers, short enough for every CI run.
@@ -46,3 +55,20 @@ fuzz:
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSignalThroughput -benchtime=1x ./internal/netproto/
+
+# bench-json records the tier-1 benchmark baseline (ns/op, B/op, allocs/op)
+# into BENCH_trellis.json. CI runs it at -benchtime=1x as a smoke step and
+# uploads the file as an artifact; for a real baseline use the default
+# benchtime: `make bench-json BENCHTIME=2s`.
+BENCHTIME ?= 1x
+BENCHJSON ?= BENCH_trellis.json
+
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -o $(BENCHJSON)
+
+# bench-speedup runs the full two-hour-trace optimization serial vs
+# Parallelism=4 — the EXPERIMENTS.md speedup record.
+bench-speedup:
+	RCBR_FULL_BENCH=1 $(GO) test -run '^$$' -bench BenchmarkTrellisFullTrace \
+		-benchmem -benchtime=$(or $(FULLBENCHTIME),3x) -timeout 60m .

@@ -5,6 +5,7 @@
 package rcbr_test
 
 import (
+	"os"
 	"testing"
 
 	"rcbr/internal/admission"
@@ -50,6 +51,7 @@ func benchSchedule(b *testing.B, tr *trace.Trace) *core.Schedule {
 func BenchmarkFig2OPT(b *testing.B) {
 	tr := benchTrace(b)
 	levels := experiments.FeasibleLevels(tr, 300e3, 12)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, err := trellis.Optimize(tr, trellis.Options{
@@ -181,6 +183,7 @@ func BenchmarkFig9MemoryMBAC(b *testing.B)     { benchMBAC(b, "memory") }
 func benchTrellisLevels(b *testing.B, k int) {
 	tr := benchTrace(b)
 	levels := experiments.FeasibleLevels(tr, 300e3, k)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, err := trellis.Optimize(tr, trellis.Options{
@@ -200,11 +203,65 @@ func BenchmarkTrellisLevels10(b *testing.B) { benchTrellisLevels(b, 10) }
 func BenchmarkTrellisLevels20(b *testing.B) { benchTrellisLevels(b, 20) }
 func BenchmarkTrellisLevels50(b *testing.B) { benchTrellisLevels(b, 50) }
 
+// --- Parallel trellis advance (Options.Parallelism) ---
+
+func benchTrellisParallel(b *testing.B, workers int) {
+	tr := benchTrace(b)
+	levels := experiments.FeasibleLevels(tr, 300e3, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := trellis.Optimize(tr, trellis.Options{
+			Levels:         levels,
+			BufferBits:     300e3,
+			BufferGridBits: 300e3 / 2048,
+			Cost:           core.CostModel{Alpha: 1e6, Beta: 1},
+			Parallelism:    workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrellisParallel1(b *testing.B) { benchTrellisParallel(b, 1) }
+func BenchmarkTrellisParallel2(b *testing.B) { benchTrellisParallel(b, 2) }
+func BenchmarkTrellisParallel4(b *testing.B) { benchTrellisParallel(b, 4) }
+
+// Full-length StarWars optimization, the EXPERIMENTS.md speedup workload.
+// Two hours of video is too heavy for the CI smoke run, so these only fire
+// when RCBR_FULL_BENCH is set (see `make bench-speedup`).
+func benchTrellisFullTrace(b *testing.B, workers int) {
+	if os.Getenv("RCBR_FULL_BENCH") == "" {
+		b.Skip("set RCBR_FULL_BENCH=1 to run the full-trace benchmark")
+	}
+	tr := experiments.StarWars(1, 0)
+	levels := experiments.FeasibleLevels(tr, 300e3, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := trellis.Optimize(tr, trellis.Options{
+			Levels:         levels,
+			BufferBits:     300e3,
+			BufferGridBits: 300e3 / 2048,
+			Cost:           core.CostModel{Alpha: 1e6, Beta: 1},
+			Parallelism:    workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrellisFullTraceSerial(b *testing.B)    { benchTrellisFullTrace(b, 1) }
+func BenchmarkTrellisFullTraceParallel4(b *testing.B) { benchTrellisFullTrace(b, 4) }
+
 // --- Ablation: Lemma-1 pruning rules ---
 
 func benchTrellisPruning(b *testing.B, pr trellis.Pruning, frames int) {
 	tr := experiments.StarWars(1, frames)
 	levels := experiments.FeasibleLevels(tr, 300e3, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, err := trellis.Optimize(tr, trellis.Options{
@@ -236,6 +293,7 @@ func BenchmarkTrellisPruneExact(b *testing.B) {
 func BenchmarkTrellisExactBuffer(b *testing.B) {
 	tr := benchTrace(b)
 	levels := experiments.FeasibleLevels(tr, 300e3, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, err := trellis.Optimize(tr, trellis.Options{

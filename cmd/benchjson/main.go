@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark baseline. It is the recorder behind `make bench-json`:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_trellis.json
+//
+// Each "Benchmark..." result line becomes one record with ns/op and, when
+// -benchmem is on, B/op and allocs/op. The goos/goarch/pkg/cpu header lines
+// are captured so a baseline records the machine it was measured on. Lines
+// that are not benchmark results (test chatter, PASS/ok) pass through to
+// stdout untouched, so the command can sit at the end of a pipe without
+// hiding failures.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the file format of BENCH_trellis.json.
+type Baseline struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	base, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(base.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (Baseline, error) {
+	var base Baseline
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			base.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			base.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			base.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			base.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if !ok {
+				fmt.Println(line)
+				continue
+			}
+			base.Results = append(base.Results, r)
+		default:
+			if line != "" {
+				fmt.Println(line)
+			}
+		}
+	}
+	return base, sc.Err()
+}
+
+// parseResult decodes one result line, e.g.
+//
+//	BenchmarkFig2OPT-8   50   23456789 ns/op   1234 B/op   56 allocs/op
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       stripProcs(fields[0]),
+		Iterations: iters,
+		NsPerOp:    ns,
+	}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true
+}
+
+// stripProcs removes the trailing -GOMAXPROCS that `go test` appends to
+// benchmark names (only a final all-digit dash group — a "Levels50" in the
+// name itself survives), so baselines diff cleanly across machines with
+// different core counts.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}

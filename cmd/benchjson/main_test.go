@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseResultLine(t *testing.T) {
+	r, ok := parseResult("BenchmarkFig2OPT-8   \t50\t  23456789 ns/op\t  1234 B/op\t   56 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkFig2OPT" || r.Iterations != 50 ||
+		r.NsPerOp != 23456789 || r.BytesPerOp != 1234 || r.AllocsPerOp != 56 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if _, ok := parseResult("BenchmarkBroken-8 not a result"); ok {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFig2OPT-8":              "BenchmarkFig2OPT",
+		"BenchmarkTrellisLevels50-16":     "BenchmarkTrellisLevels50",
+		"BenchmarkOptimizeParallel/p4-8":  "BenchmarkOptimizeParallel/p4",
+		"BenchmarkNoSuffix":               "BenchmarkNoSuffix",
+		"BenchmarkTrailingDash-":          "BenchmarkTrailingDash-",
+		"BenchmarkOptimizeParallel/p4-x8": "BenchmarkOptimizeParallel/p4-x8",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Fatalf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseFullOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: rcbr
+cpu: Fake CPU @ 2.00GHz
+BenchmarkFig2OPT-8        	      50	  23456789 ns/op	    1234 B/op	      56 allocs/op
+BenchmarkTrellisLevels5-8 	     100	  11111111 ns/op
+PASS
+ok  	rcbr	12.3s
+`
+	base, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.GOOS != "linux" || base.GOARCH != "amd64" || base.Pkg != "rcbr" ||
+		base.CPU != "Fake CPU @ 2.00GHz" {
+		t.Fatalf("header %+v", base)
+	}
+	if len(base.Results) != 2 {
+		t.Fatalf("results = %d", len(base.Results))
+	}
+	if base.Results[1].Name != "BenchmarkTrellisLevels5" || base.Results[1].BytesPerOp != 0 {
+		t.Fatalf("second result %+v", base.Results[1])
+	}
+}

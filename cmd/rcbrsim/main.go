@@ -16,9 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -94,6 +98,80 @@ func commonFlags(fs *flag.FlagSet) (*int, *uint64) {
 	return frames, seed
 }
 
+// parallelFlag registers -parallel on the sweep commands. 0 asks for one
+// worker per available CPU; 1 (the default) keeps the historical serial
+// run.
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 1, "concurrent grid points (0 = GOMAXPROCS)")
+}
+
+func resolveParallel(p int) int {
+	if p == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// sweepContext is the root context for the figure sweeps: Ctrl-C cancels
+// the sweep instead of killing the process mid-write.
+func sweepContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// profiler carries the -cpuprofile/-memprofile flag values (see the README
+// profiling workflow).
+type profiler struct {
+	cpu, mem *string
+}
+
+// profileFlags registers the profiling flags on fs.
+func profileFlags(fs *flag.FlagSet) *profiler {
+	return &profiler{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling if requested and returns a stop function to
+// defer; stop also snapshots the heap profile. Profile-writing failures are
+// reported on stderr rather than failing the experiment that produced them.
+func (p *profiler) start() (func(), error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
 func buildTrace(frames int, seed uint64) *trace.Trace {
 	tr := experiments.StarWars(seed, frames)
 	sum, err := tr.Summarize()
@@ -108,14 +186,24 @@ func fig2(args []string) error {
 	frames, seed := commonFlags(fs)
 	buffer := fs.Float64("buffer", 300e3, "source buffer B in bits")
 	levels := fs.Int("levels", 20, "number of OPT bandwidth levels")
+	parallel := parallelFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	ctx, cancel := sweepContext()
+	defer cancel()
 	tr := buildTrace(*frames, *seed)
 	cfg := experiments.DefaultFig2Config(tr)
 	cfg.BufferBits = *buffer
 	cfg.Levels = experiments.FeasibleLevels(tr, *buffer, *levels)
-	rows, err := experiments.Fig2(cfg)
+	cfg.Parallelism = resolveParallel(*parallel)
+	rows, err := experiments.Fig2(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -159,6 +247,8 @@ func fig6(args []string) error {
 	target := fs.Float64("loss", 1e-6, "bit-loss fraction target")
 	nsFlag := fs.String("ns", "1,2,5,10,20,50,100,200,500,1000", "source counts")
 	maxReps := fs.Int("reps", 20, "max randomized phasings per capacity")
+	parallel := parallelFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +256,13 @@ func fig6(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	ctx, cancel := sweepContext()
+	defer cancel()
 	tr := buildTrace(*frames, *seed)
 	cfg, err := experiments.DefaultFig6Config(tr, *alpha)
 	if err != nil {
@@ -174,10 +271,11 @@ func fig6(args []string) error {
 	cfg.Ns = ns
 	cfg.LossTarget = *target
 	cfg.MaxReps = *maxReps
+	cfg.Parallelism = resolveParallel(*parallel)
 	fmt.Printf("fig6: schedule renegs=%d interval=%.1fs efficiency=%.4f\n",
 		cfg.Schedule.Renegotiations(), cfg.Schedule.MeanRenegIntervalSec(),
 		cfg.Schedule.BandwidthEfficiency(tr))
-	pts, err := experiments.Fig6(cfg)
+	pts, err := experiments.Fig6(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -201,6 +299,8 @@ func mbac(args []string, scheme, title string) error {
 	loadsFlag := fs.String("loads", "0.4,0.6,0.8,1.0,1.2", "normalized offered loads")
 	target := fs.Float64("target", 1e-3, "renegotiation failure target")
 	maxBatches := fs.Int("batches", 40, "max measurement batches")
+	parallel := parallelFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,6 +312,13 @@ func mbac(args []string, scheme, title string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	ctx, cancel := sweepContext()
+	defer cancel()
 	tr := buildTrace(*frames, *seed)
 	cfg6, err := experiments.DefaultFig6Config(tr, *alpha)
 	if err != nil {
@@ -224,7 +331,8 @@ func mbac(args []string, scheme, title string) error {
 	cfg.Schemes = []string{scheme}
 	cfg.MaxBatches = *maxBatches
 	cfg.Seed = *seed
-	rows, err := experiments.MBAC(cfg)
+	cfg.Parallelism = resolveParallel(*parallel)
+	rows, err := experiments.MBAC(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -325,12 +433,21 @@ func latency(args []string) error {
 	frames, seed := commonFlags(fs)
 	buffer := fs.Float64("buffer", 300e3, "source buffer B in bits")
 	delta := fs.Float64("delta", 64e3, "heuristic granularity")
+	parallel := parallelFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	ctx, cancel := sweepContext()
+	defer cancel()
 	tr := buildTrace(*frames, *seed)
-	rows, err := experiments.Latency(tr, *buffer, *delta,
-		[]int{0, 2, 6, 12, 24, 48, 96})
+	rows, err := experiments.Latency(ctx, tr, *buffer, *delta,
+		[]int{0, 2, 6, 12, 24, 48, 96}, resolveParallel(*parallel))
 	if err != nil {
 		return err
 	}
@@ -350,17 +467,27 @@ func chernoff(args []string) error {
 	frames, seed := commonFlags(fs)
 	alpha := fs.Float64("alpha", 1e6, "schedule renegotiation cost")
 	samples := fs.Int("samples", 20000, "Monte-Carlo samples per cell")
+	parallel := parallelFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	ctx, cancel := sweepContext()
+	defer cancel()
 	tr := buildTrace(*frames, *seed)
 	cfg6, err := experiments.DefaultFig6Config(tr, *alpha)
 	if err != nil {
 		return err
 	}
 	levels := experiments.FeasibleGridLevels(tr, 300e3, 64e3)
-	rows, err := experiments.ChernoffValidation(cfg6.Schedule, levels,
-		[]int{10, 50, 200}, []float64{1.1, 1.3, 1.6, 2.0}, *samples, *seed)
+	rows, err := experiments.ChernoffValidation(ctx, cfg6.Schedule, levels,
+		[]int{10, 50, 200}, []float64{1.1, 1.3, 1.6, 2.0}, *samples, *seed,
+		resolveParallel(*parallel))
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"rcbr/internal/core"
@@ -27,21 +29,55 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "offline", "offline (optimal) or online (AR1 heuristic)")
-		in      = flag.String("in", "", "trace file (empty: synthesize)")
-		frames  = flag.Int("frames", 28800, "synthetic trace frames")
-		seed    = flag.Uint64("seed", 1, "synthetic trace seed")
-		buffer  = flag.Float64("buffer", 300e3, "source buffer B (bits)")
-		alpha   = flag.Float64("alpha", 1e6, "offline: cost per renegotiation")
-		beta    = flag.Float64("beta", 1, "offline: cost per bit of allocation")
-		levels  = flag.Int("levels", 20, "offline: number of bandwidth levels")
-		delay   = flag.Int("delay", 0, "offline: delay bound in slots (0 = none)")
-		drained = flag.Bool("drained", false, "offline: require the buffer drained at the end")
-		delta   = flag.Float64("delta", 64e3, "online: bandwidth granularity (bits/s)")
-		gop     = flag.Bool("gopaware", false, "online: use the GOP-aware predictor")
-		dump    = flag.Bool("dump", false, "print every segment")
+		mode     = flag.String("mode", "offline", "offline (optimal) or online (AR1 heuristic)")
+		in       = flag.String("in", "", "trace file (empty: synthesize)")
+		frames   = flag.Int("frames", 28800, "synthetic trace frames")
+		seed     = flag.Uint64("seed", 1, "synthetic trace seed")
+		buffer   = flag.Float64("buffer", 300e3, "source buffer B (bits)")
+		alpha    = flag.Float64("alpha", 1e6, "offline: cost per renegotiation")
+		beta     = flag.Float64("beta", 1, "offline: cost per bit of allocation")
+		levels   = flag.Int("levels", 20, "offline: number of bandwidth levels")
+		delay    = flag.Int("delay", 0, "offline: delay bound in slots (0 = none)")
+		drained  = flag.Bool("drained", false, "offline: require the buffer drained at the end")
+		delta    = flag.Float64("delta", 64e3, "online: bandwidth granularity (bits/s)")
+		gop      = flag.Bool("gopaware", false, "online: use the GOP-aware predictor")
+		dump     = flag.Bool("dump", false, "print every segment")
+		parallel = flag.Int("parallel", 1, "offline: trellis worker count (0 = GOMAXPROCS)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "schedule: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "schedule: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	var tr *trace.Trace
 	var err error
@@ -70,6 +106,7 @@ func main() {
 			Cost:            core.CostModel{Alpha: *alpha, Beta: *beta},
 			RequireDrained:  *drained,
 			FinalSlackBits:  *buffer / 100,
+			Parallelism:     *parallel,
 		}
 		var st trellis.Stats
 		sch, st, err = trellis.Optimize(tr, opts)

@@ -92,3 +92,54 @@ func (f *fabric) goroutineUnderLock() {
 		<-f.ch
 	}()
 }
+
+// workerPool is the lock-free fan-out idiom the trellis optimizer and the
+// experiments sweep runner use: a bounded set of persistent workers fed by
+// a channel, joined with WaitGroup.Wait — no mutex anywhere near the
+// channel operations, so the analyzer must stay silent.
+func (f *fabric) workerPool(n int) {
+	tasks := make(chan int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				_ = t
+			}
+		}()
+	}
+	for t := 0; t < n; t++ {
+		tasks <- t
+	}
+	close(tasks)
+	wg.Wait()
+}
+
+// perSlotBarrier mirrors the optimizer's dispatch: results are collected
+// under the lock only after the Wait barrier has released every worker.
+func (f *fabric) perSlotBarrier(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			f.ch <- 1
+		}()
+	}
+	for w := 0; w < n; w++ {
+		<-f.ch
+	}
+	wg.Wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+// dispatchUnderLock is the corresponding anti-pattern: feeding the pool's
+// task channel, or joining it, while a mutex is held.
+func (f *fabric) dispatchUnderLock() {
+	f.mu.Lock()
+	f.ch <- 1   // want "f.mu is held across a channel send"
+	f.wg.Wait() // want "sync.WaitGroup.Wait"
+	f.mu.Unlock()
+}

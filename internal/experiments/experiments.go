@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -86,6 +87,9 @@ type Fig2Config struct {
 	Levels     []float64 // OPT level set (paper: 20 uniform levels)
 	Alphas     []float64 // OPT cost-ratio sweep (beta fixed at 1)
 	Deltas     []float64 // heuristic granularity sweep (paper: 25..400 kb/s)
+	// Parallelism bounds how many grid points run concurrently; <= 1 runs
+	// the sweep serially. Results are identical either way.
+	Parallelism int
 }
 
 // Fig2Row is one point of Fig. 2.
@@ -109,46 +113,51 @@ func DefaultFig2Config(tr *trace.Trace) Fig2Config {
 	}
 }
 
-// Fig2 computes both curves of Fig. 2.
-func Fig2(cfg Fig2Config) ([]Fig2Row, error) {
+// Fig2 computes both curves of Fig. 2. The OPT points (one trellis
+// optimization per alpha) and the AR1 points (one heuristic run per delta)
+// are independent grid points, so they all go through one Sweep; rows come
+// back in the serial order — every alpha, then every delta.
+func Fig2(ctx context.Context, cfg Fig2Config) ([]Fig2Row, error) {
 	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
 		return nil, fmt.Errorf("experiments: missing trace")
 	}
-	var rows []Fig2Row
-	for _, alpha := range cfg.Alphas {
-		sch, _, err := trellis.Optimize(cfg.Trace, trellis.Options{
-			Levels:         cfg.Levels,
-			BufferBits:     cfg.BufferBits,
-			BufferGridBits: cfg.BufferBits / 2048,
-			Cost:           core.CostModel{Alpha: alpha, Beta: 1},
+	nA := len(cfg.Alphas)
+	return Sweep(ctx, cfg.Parallelism, nA+len(cfg.Deltas),
+		func(_ context.Context, i int) (Fig2Row, error) {
+			if i < nA {
+				alpha := cfg.Alphas[i]
+				sch, _, err := trellis.Optimize(cfg.Trace, trellis.Options{
+					Levels:         cfg.Levels,
+					BufferBits:     cfg.BufferBits,
+					BufferGridBits: cfg.BufferBits / 2048,
+					Cost:           core.CostModel{Alpha: alpha, Beta: 1},
+				})
+				if err != nil {
+					return Fig2Row{}, fmt.Errorf("experiments: fig2 OPT alpha %g: %w", alpha, err)
+				}
+				return Fig2Row{
+					Kind:             "OPT",
+					Param:            alpha,
+					Renegotiations:   sch.Renegotiations(),
+					RenegIntervalSec: sch.MeanRenegIntervalSec(),
+					Efficiency:       sch.BandwidthEfficiency(cfg.Trace),
+				}, nil
+			}
+			delta := cfg.Deltas[i-nA]
+			res, err := heuristic.Run(cfg.Trace, cfg.BufferBits,
+				heuristic.DefaultParams(delta), nil)
+			if err != nil {
+				return Fig2Row{}, fmt.Errorf("experiments: fig2 AR1 delta %g: %w", delta, err)
+			}
+			return Fig2Row{
+				Kind:             "AR1",
+				Param:            delta,
+				Renegotiations:   res.Schedule.Renegotiations(),
+				RenegIntervalSec: res.Schedule.MeanRenegIntervalSec(),
+				Efficiency:       res.Schedule.BandwidthEfficiency(cfg.Trace),
+				MaxOccupancyBits: res.MaxOccupancy,
+			}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2 OPT alpha %g: %w", alpha, err)
-		}
-		rows = append(rows, Fig2Row{
-			Kind:             "OPT",
-			Param:            alpha,
-			Renegotiations:   sch.Renegotiations(),
-			RenegIntervalSec: sch.MeanRenegIntervalSec(),
-			Efficiency:       sch.BandwidthEfficiency(cfg.Trace),
-		})
-	}
-	for _, delta := range cfg.Deltas {
-		res, err := heuristic.Run(cfg.Trace, cfg.BufferBits,
-			heuristic.DefaultParams(delta), nil)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2 AR1 delta %g: %w", delta, err)
-		}
-		rows = append(rows, Fig2Row{
-			Kind:             "AR1",
-			Param:            delta,
-			Renegotiations:   res.Schedule.Renegotiations(),
-			RenegIntervalSec: res.Schedule.MeanRenegIntervalSec(),
-			Efficiency:       res.Schedule.BandwidthEfficiency(cfg.Trace),
-			MaxOccupancyBits: res.MaxOccupancy,
-		})
-	}
-	return rows, nil
 }
 
 // ------------------------------- Fig. 5 --------------------------------
@@ -171,6 +180,10 @@ type Fig6Config struct {
 	MinReps    int
 	MaxReps    int
 	Seed       uint64
+	// Parallelism bounds how many source counts are searched concurrently;
+	// <= 1 runs serially. Results are identical either way (every capacity
+	// search reseeds from Seed).
+	Parallelism int
 }
 
 // DefaultFig6Config builds the paper's setup: B = 300 kb, loss 1e-6,
@@ -194,9 +207,12 @@ func DefaultFig6Config(tr *trace.Trace, alpha float64) (Fig6Config, error) {
 	}, nil
 }
 
-// Fig6 computes the three per-stream capacity curves.
-func Fig6(cfg Fig6Config) ([]smg.Point, error) {
-	return smg.Curve(smg.Config{
+// Fig6 computes the three per-stream capacity curves. Each source count is
+// an independent grid point: smg.SharedRate and smg.RCBRRate reseed their
+// phasing RNGs from cfg.Seed, so sweeping the counts concurrently yields
+// exactly the points smg.Curve computes serially.
+func Fig6(ctx context.Context, cfg Fig6Config) ([]smg.Point, error) {
+	smgCfg := smg.Config{
 		Trace:      cfg.Trace,
 		Schedule:   cfg.Schedule,
 		BufferBits: cfg.BufferBits,
@@ -205,7 +221,24 @@ func Fig6(cfg Fig6Config) ([]smg.Point, error) {
 		MaxReps:    cfg.MaxReps,
 		CIFrac:     0.2,
 		Seed:       cfg.Seed,
-	}, cfg.Ns)
+	}
+	if err := smgCfg.Validate(); err != nil {
+		return nil, err
+	}
+	cbr := smg.CBRRate(cfg.Trace, cfg.BufferBits, cfg.LossTarget)
+	return Sweep(ctx, cfg.Parallelism, len(cfg.Ns),
+		func(_ context.Context, i int) (smg.Point, error) {
+			n := cfg.Ns[i]
+			shared, _, err := smg.SharedRate(smgCfg, n)
+			if err != nil {
+				return smg.Point{}, err
+			}
+			rcbr, _, err := smg.RCBRRate(smgCfg, n)
+			if err != nil {
+				return smg.Point{}, err
+			}
+			return smg.Point{N: n, CBR: cbr, Shared: shared, RCBR: rcbr}, nil
+		})
 }
 
 // ---------------------------- Figs. 7, 8, 9 ----------------------------
@@ -231,6 +264,10 @@ type MBACConfig struct {
 	MinBatches, MaxBatches int
 	CIFrac                 float64
 	Seed                   uint64
+	// Parallelism bounds how many (capacity, load) cells run concurrently;
+	// <= 1 runs serially. Every call-simulation seed is derived from the
+	// cell's position in the grid, so results are identical either way.
+	Parallelism int
 }
 
 // MBACRow is one cell of Figs. 7/8 (or the Fig. 9 extension).
@@ -283,8 +320,12 @@ func newController(name string, dist ld.Dist, levels []float64, capacity, target
 
 // MBAC runs the admission sweep. For every (capacity, load) cell it first
 // runs the perfect-knowledge benchmark, then each requested scheme,
-// normalizing utilization by the benchmark's (Fig. 8's y-axis).
-func MBAC(cfg MBACConfig) ([]MBACRow, error) {
+// normalizing utilization by the benchmark's (Fig. 8's y-axis). Cells are
+// independent, so they sweep concurrently under cfg.Parallelism; the
+// per-run seeds reproduce the historical serial sequence (a global run
+// counter m, with run m seeded cfg.Seed*1000 + cfg.Seed + m) so the rows
+// match the serial sweep bit for bit.
+func MBAC(ctx context.Context, cfg MBACConfig) ([]MBACRow, error) {
 	if cfg.Schedule == nil {
 		return nil, fmt.Errorf("experiments: missing schedule")
 	}
@@ -292,19 +333,21 @@ func MBAC(cfg MBACConfig) ([]MBACRow, error) {
 	dist := ld.Dist{P: desc.Probabilities(), X: desc.Levels()}
 	meanRate := cfg.Schedule.MeanRate()
 	dur := cfg.Schedule.DurationSec()
+	runsPerCell := 1 + len(cfg.Schemes) // perfect + each scheme
 
-	var rows []MBACRow
-	seed := cfg.Seed
-	for _, capX := range cfg.CapacityMultiples {
-		capacity := capX * meanRate
-		for _, load := range cfg.Loads {
+	perCell, err := Sweep(ctx, cfg.Parallelism,
+		len(cfg.CapacityMultiples)*len(cfg.Loads),
+		func(_ context.Context, cell int) ([]MBACRow, error) {
+			capX := cfg.CapacityMultiples[cell/len(cfg.Loads)]
+			load := cfg.Loads[cell%len(cfg.Loads)]
+			capacity := capX * meanRate
 			lam := callsim.OfferedLoad(load, capacity, meanRate, dur)
-			run := func(name string) (callsim.Result, error) {
+			run := func(name string, runIdx int) (callsim.Result, error) {
 				ctrl, err := newController(name, dist, cfg.Levels, capacity, cfg.TargetFailure)
 				if err != nil {
 					return callsim.Result{}, err
 				}
-				seed++
+				m := uint64(cell*runsPerCell + runIdx + 1)
 				return callsim.Run(callsim.Config{
 					Schedule:      cfg.Schedule,
 					Capacity:      capacity,
@@ -314,15 +357,16 @@ func MBAC(cfg MBACConfig) ([]MBACRow, error) {
 					MinBatches:    cfg.MinBatches,
 					MaxBatches:    cfg.MaxBatches,
 					CIFrac:        cfg.CIFrac,
-					Seed:          cfg.Seed*1000 + seed,
+					Seed:          cfg.Seed*1000 + cfg.Seed + m,
 				})
 			}
-			perfect, err := run("perfect")
+			perfect, err := run("perfect", 0)
 			if err != nil {
 				return nil, err
 			}
-			for _, scheme := range cfg.Schemes {
-				res, err := run(scheme)
+			rows := make([]MBACRow, 0, len(cfg.Schemes))
+			for si, scheme := range cfg.Schemes {
+				res, err := run(scheme, si+1)
 				if err != nil {
 					return nil, err
 				}
@@ -345,7 +389,14 @@ func MBAC(cfg MBACConfig) ([]MBACRow, error) {
 					PerfectUtil:  perfect.Utilization,
 				})
 			}
-		}
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []MBACRow
+	for _, rs := range perCell {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }

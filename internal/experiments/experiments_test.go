@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -10,9 +11,24 @@ func TestFig2ShapesAndMonotonicity(t *testing.T) {
 	cfg := DefaultFig2Config(tr)
 	cfg.Alphas = []float64{1e5, 1e6, 1e7}
 	cfg.Deltas = []float64{50e3, 200e3}
-	rows, err := Fig2(cfg)
+	rows, err := Fig2(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The sweep is deterministic: a parallel run must reproduce the serial
+	// rows exactly, in the same order.
+	cfg.Parallelism = 3
+	prows, err := Fig2(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prows) != len(rows) {
+		t.Fatalf("parallel rows = %d, serial %d", len(prows), len(rows))
+	}
+	for i := range rows {
+		if prows[i] != rows[i] {
+			t.Fatalf("parallel row %d = %+v, serial %+v", i, prows[i], rows[i])
+		}
 	}
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
@@ -48,7 +64,7 @@ func TestFig2ShapesAndMonotonicity(t *testing.T) {
 }
 
 func TestFig2Validation(t *testing.T) {
-	if _, err := Fig2(Fig2Config{}); err == nil {
+	if _, err := Fig2(context.Background(), Fig2Config{}); err == nil {
 		t.Fatal("missing trace accepted")
 	}
 }
@@ -83,7 +99,7 @@ func TestFig6SmallScale(t *testing.T) {
 	cfg.Ns = []int{2, 10}
 	cfg.LossTarget = 1e-4 // achievable at this short length
 	cfg.MaxReps = 8
-	pts, err := Fig6(cfg)
+	pts, err := Fig6(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +108,18 @@ func TestFig6SmallScale(t *testing.T) {
 	}
 	if pts[1].RCBR > pts[0].RCBR*1.05 {
 		t.Fatalf("RCBR not improving with N: %+v", pts)
+	}
+	// Each source count reseeds its capacity searches, so parallel sweeps
+	// reproduce the serial points exactly.
+	cfg.Parallelism = 2
+	ppts, err := Fig6(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if ppts[i] != pts[i] {
+			t.Fatalf("parallel point %d = %+v, serial %+v", i, ppts[i], pts[i])
+		}
 	}
 }
 
@@ -106,12 +134,24 @@ func TestMBACSweepSmall(t *testing.T) {
 	cfg.Loads = []float64{1.0}
 	cfg.Schemes = []string{"memoryless", "memory"}
 	cfg.MaxBatches = 12
-	rows, err := MBAC(cfg)
+	rows, err := MBAC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
+	}
+	// Seeds are derived from grid position, so the parallel sweep is
+	// bit-identical to the serial one.
+	cfg.Parallelism = 4
+	prows, err := MBAC(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if prows[i] != rows[i] {
+			t.Fatalf("parallel row %d = %+v, serial %+v", i, prows[i], rows[i])
+		}
 	}
 	for _, r := range rows {
 		if r.Utilization <= 0 || r.Utilization > 1 {
@@ -139,11 +179,11 @@ func TestMBACUnknownScheme(t *testing.T) {
 	cfg.CapacityMultiples = []float64{5}
 	cfg.Loads = []float64{0.5}
 	cfg.Schemes = []string{"nope"}
-	if _, err := MBAC(cfg); err == nil {
+	if _, err := MBAC(context.Background(), cfg); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
 	cfg.Schedule = nil
-	if _, err := MBAC(cfg); err == nil {
+	if _, err := MBAC(context.Background(), cfg); err == nil {
 		t.Fatal("missing schedule accepted")
 	}
 }

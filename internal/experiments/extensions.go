@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rcbr/internal/core"
@@ -24,28 +25,32 @@ type LatencyRow struct {
 }
 
 // Latency sweeps signaling delays for the online heuristic over the trace.
-func Latency(tr *trace.Trace, bufferBits, granularity float64, delays []int) ([]LatencyRow, error) {
+// Each delay is an independent deterministic run, so the sweep runs up to
+// parallelism delays concurrently with identical results.
+func Latency(ctx context.Context, tr *trace.Trace, bufferBits, granularity float64,
+	delays []int, parallelism int) ([]LatencyRow, error) {
+
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("experiments: missing trace")
 	}
-	rows := make([]LatencyRow, 0, len(delays))
-	for _, d := range delays {
-		p := heuristic.DefaultParams(granularity)
-		p.SignalDelaySlots = d
-		res, err := heuristic.Run(tr, bufferBits, p, nil)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, LatencyRow{
-			DelaySlots:       d,
-			DelayMs:          float64(d) * tr.SlotSeconds() * 1e3,
-			Efficiency:       res.Schedule.BandwidthEfficiency(tr),
-			MaxOccupancyBits: res.MaxOccupancy,
-			LostBits:         res.LostBits,
-			RenegIntervalSec: res.Schedule.MeanRenegIntervalSec(),
+	return Sweep(ctx, parallelism, len(delays),
+		func(_ context.Context, i int) (LatencyRow, error) {
+			d := delays[i]
+			p := heuristic.DefaultParams(granularity)
+			p.SignalDelaySlots = d
+			res, err := heuristic.Run(tr, bufferBits, p, nil)
+			if err != nil {
+				return LatencyRow{}, err
+			}
+			return LatencyRow{
+				DelaySlots:       d,
+				DelayMs:          float64(d) * tr.SlotSeconds() * 1e3,
+				Efficiency:       res.Schedule.BandwidthEfficiency(tr),
+				MaxOccupancyBits: res.MaxOccupancy,
+				LostBits:         res.LostBits,
+				RenegIntervalSec: res.Schedule.MeanRenegIntervalSec(),
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // ChernoffRow compares the Chernoff estimate of eq. (12) against a direct
@@ -63,8 +68,13 @@ type ChernoffRow struct {
 // samples the instantaneous aggregate demand and compares the overload
 // fraction to the Chernoff estimate on the schedule's rate marginal. The
 // estimate should upper-bound the measurement while tracking its decay.
-func ChernoffValidation(sch *core.Schedule, levels []float64, ns []int,
-	cMultiples []float64, samples int, seed uint64) ([]ChernoffRow, error) {
+//
+// Every (n, multiple) cell draws from its own RNG, derived by hashing the
+// seed with the cell's grid position, so the measurement at one cell does
+// not depend on how many cells precede it or on parallelism.
+func ChernoffValidation(ctx context.Context, sch *core.Schedule, levels []float64,
+	ns []int, cMultiples []float64, samples int, seed uint64,
+	parallelism int) ([]ChernoffRow, error) {
 
 	if sch == nil {
 		return nil, fmt.Errorf("experiments: missing schedule")
@@ -75,11 +85,13 @@ func ChernoffValidation(sch *core.Schedule, levels []float64, ns []int,
 	desc := sch.Descriptor(levels)
 	dist := ld.Dist{P: desc.Probabilities(), X: desc.Levels()}
 	mean := sch.MeanRate()
-	rng := stats.NewRNG(seed)
 	rates := sch.Rates()
-	var rows []ChernoffRow
-	for _, n := range ns {
-		for _, m := range cMultiples {
+	return Sweep(ctx, parallelism, len(ns)*len(cMultiples),
+		func(_ context.Context, cell int) (ChernoffRow, error) {
+			n := ns[cell/len(cMultiples)]
+			m := cMultiples[cell%len(cMultiples)]
+			// SplitMix-hash (seed, cell) into a well-separated stream start.
+			rng := stats.NewRNG(stats.NewRNG(seed + uint64(cell)).Uint64())
 			cPer := m * mean
 			C := cPer * float64(n)
 			over := 0
@@ -93,13 +105,11 @@ func ChernoffValidation(sch *core.Schedule, levels []float64, ns []int,
 					over++
 				}
 			}
-			rows = append(rows, ChernoffRow{
+			return ChernoffRow{
 				N:         n,
 				CPerMean:  m,
 				Chernoff:  dist.ChernoffTail(cPer, n),
 				Simulated: float64(over) / float64(samples),
-			})
-		}
-	}
-	return rows, nil
+			}, nil
+		})
 }

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepOrderedResults: results come back in index order for every
+// worker count, identical to the serial run.
+func TestSweepOrderedResults(t *testing.T) {
+	const n = 57
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, n, 4 * n} {
+		got, err := Sweep(context.Background(), workers, n,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	got, err := Sweep(context.Background(), 4, 0,
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty sweep: got %v, %v", got, err)
+	}
+}
+
+// TestSweepFailFast: an error at index 0 must cancel the sweep's context
+// (so ctx-respecting grid points stop), and the returned error must be the
+// real failure, not one of the cancellations it triggered.
+func TestSweepFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Sweep(context.Background(), 4, 100,
+		func(ctx context.Context, i int) (int, error) {
+			calls.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			<-ctx.Done() // block until fail-fast cancellation
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if c := calls.Load(); c > 8 {
+		t.Fatalf("%d grid points started after the failure; fail-fast is not cancelling", c)
+	}
+}
+
+// TestSweepLowestIndexError: with several real failures, the lowest index
+// deterministically wins regardless of completion order.
+func TestSweepLowestIndexError(t *testing.T) {
+	errAt := make([]error, 16)
+	for i := range errAt {
+		errAt[i] = fmt.Errorf("fail %d", i)
+	}
+	for trial := 0; trial < 20; trial++ {
+		_, err := Sweep(context.Background(), 8, len(errAt),
+			func(_ context.Context, i int) (int, error) {
+				if i%2 == 1 {
+					return 0, errAt[i]
+				}
+				return i, nil
+			})
+		if !errors.Is(err, errAt[1]) {
+			t.Fatalf("trial %d: got %v, want %v", trial, err, errAt[1])
+		}
+	}
+}
+
+// TestSweepParentCancellation: a cancelled parent context surfaces as
+// ctx.Err(), both up front and mid-sweep.
+func TestSweepParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, 1, 5,
+		func(_ context.Context, i int) (int, error) { return i, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled serial sweep: got %v", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Sweep(ctx, 4, 100,
+		func(sctx context.Context, i int) (int, error) {
+			if i == 0 {
+				cancel() // external cancellation mid-sweep
+			}
+			<-sctx.Done()
+			return 0, sctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancellation: got %v", err)
+	}
+}

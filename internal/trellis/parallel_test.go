@@ -1,0 +1,233 @@
+package trellis
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"rcbr/internal/core"
+	"rcbr/internal/stats"
+	"rcbr/internal/trace"
+)
+
+// TestParallelBitIdentical is the property test backing Options.Parallelism:
+// over random traces, level sets, buffers and cost models, parallelism 1, 2
+// and GOMAXPROCS must produce the same cost, the same renegotiation count,
+// and the same segment boundaries — not approximately, exactly.
+func TestParallelBitIdentical(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		T := 40 + r.Intn(200)
+		bits := make([]int64, T)
+		for i := range bits {
+			bits[i] = int64(r.Intn(4000))
+		}
+		tr := trace.New(bits, 1)
+		K := 3 + r.Intn(8)
+		levels := stats.UniformLevels(100, 4500+500*r.Float64(), K)
+		opt := Options{
+			Levels:     levels,
+			BufferBits: float64(500 + r.Intn(8000)),
+			Cost:       core.CostModel{Alpha: 2000 * r.Float64(), Beta: 0.5 + r.Float64()},
+			Pruning:    Pruning(r.Intn(2)), // PruneFull or PruneSameRate
+		}
+		if r.Intn(2) == 0 {
+			opt.BufferGridBits = opt.BufferBits / 64
+		}
+
+		type run struct {
+			sch *core.Schedule
+			st  Stats
+			err error
+		}
+		var runs []run
+		for _, p := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			opt.Parallelism = p
+			sch, st, err := Optimize(tr, opt)
+			runs = append(runs, run{sch, st, err})
+		}
+		base := runs[0]
+		for i, got := range runs[1:] {
+			if (got.err == nil) != (base.err == nil) {
+				t.Logf("seed %d run %d: err %v vs %v", seed, i+1, got.err, base.err)
+				return false
+			}
+			if base.err != nil {
+				if !errors.Is(got.err, ErrInfeasible) {
+					return false
+				}
+				continue
+			}
+			if got.st.Cost != base.st.Cost {
+				t.Logf("seed %d run %d: cost %v != %v", seed, i+1, got.st.Cost, base.st.Cost)
+				return false
+			}
+			if got.st.NodesExpanded != base.st.NodesExpanded ||
+				got.st.MaxFrontier != base.st.MaxFrontier {
+				t.Logf("seed %d run %d: stats %+v != %+v", seed, i+1, got.st, base.st)
+				return false
+			}
+			if got.sch.Renegotiations() != base.sch.Renegotiations() {
+				t.Logf("seed %d run %d: renegs %d != %d", seed, i+1,
+					got.sch.Renegotiations(), base.sch.Renegotiations())
+				return false
+			}
+			for s, seg := range got.sch.Segments {
+				if seg != base.sch.Segments[s] {
+					t.Logf("seed %d run %d: segment %d %+v != %+v",
+						seed, i+1, s, seg, base.sch.Segments[s])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelStarWars pins the equivalence on the realistic workload the
+// benchmarks and figures use, at the paper's level count.
+func TestParallelStarWars(t *testing.T) {
+	tr := trace.SyntheticStarWarsFrames(21, 1200)
+	opt := Options{
+		Levels:         stats.UniformLevels(48e3, 3e6, 20),
+		BufferBits:     300e3,
+		BufferGridBits: 300e3 / 2048,
+		Cost:           core.CostModel{Alpha: 1e6, Beta: 1},
+	}
+	schSerial, serial, err := Optimize(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4} {
+		opt.Parallelism = p
+		sch, st, err := Optimize(tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cost != serial.Cost {
+			t.Fatalf("parallelism %d: cost %v != serial %v", p, st.Cost, serial.Cost)
+		}
+		if len(sch.Segments) != len(schSerial.Segments) {
+			t.Fatalf("parallelism %d: %d segments != serial %d",
+				p, len(sch.Segments), len(schSerial.Segments))
+		}
+		for i := range sch.Segments {
+			if sch.Segments[i] != schSerial.Segments[i] {
+				t.Fatalf("parallelism %d: segment %d differs: %+v vs %+v",
+					p, i, sch.Segments[i], schSerial.Segments[i])
+			}
+		}
+	}
+}
+
+// TestParallelValidation covers the new option's validation edge.
+func TestParallelValidation(t *testing.T) {
+	tr := trace.New([]int64{1, 2}, 1)
+	opt := Options{Levels: []float64{10}, BufferBits: 10,
+		Cost: core.CostModel{Beta: 1}, Parallelism: -1}
+	if _, _, err := Optimize(tr, opt); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	// Parallelism beyond the level count is capped, not an error.
+	opt.Parallelism = 64
+	if _, _, err := Optimize(tr, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteadyStateAllocations is the regression test for the scratch-slice
+// reuse: with a single level there are no rate switches (so no per-segment
+// event allocations beyond slot 0), and once the pooled arenas are warm a
+// whole Optimize call must not allocate per slot. The sort-based global
+// merge this replaced allocated on every slot, which this bound catches.
+func TestSteadyStateAllocations(t *testing.T) {
+	bits := make([]int64, 2000)
+	for i := range bits {
+		bits[i] = 10
+	}
+	tr := trace.New(bits, 1)
+	opt := Options{
+		Levels:     []float64{10},
+		BufferBits: 100,
+		Cost:       core.CostModel{Alpha: 5, Beta: 1},
+	}
+	// Warm the pool so the measured runs reuse the arena.
+	if _, _, err := Optimize(tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := Optimize(tr, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per-call overhead: caps slice, schedule + segments, the pool
+	// round-trip and a few fixed-size headers — nothing proportional to
+	// the 2000 slots.
+	if allocs > 25 {
+		t.Fatalf("Optimize allocated %.0f times for a 2000-slot trace; "+
+			"per-slot scratch is regrowing", allocs)
+	}
+}
+
+// TestMultiLevelAllocationsScaleWithSegments checks the multi-rate steady
+// state. A surviving rate-switch state legitimately allocates one event
+// node (that is the documented one-node-per-segment-candidate design), so
+// the zero-growth assertion needs a workload whose steady state accepts no
+// switch candidates at all: with levels {1, 10}, 10 bits/slot and B = 5,
+// every switch down to rate 1 lands at occupancy 9 > B and is rejected on
+// the buffer cap before any entry or event exists. What remains per slot is
+// the global merge and the cross-rate prune — exactly the machinery whose
+// sort- and scratch-allocations this PR removed — and they must cost
+// nothing as the trace doubles.
+func TestMultiLevelAllocationsScaleWithSegments(t *testing.T) {
+	allocsAt := func(T int) float64 {
+		bits := make([]int64, T)
+		for i := range bits {
+			bits[i] = 10
+		}
+		tr := trace.New(bits, 1)
+		opt := Options{
+			Levels:     []float64{1, 10},
+			BufferBits: 5,
+			Cost:       core.CostModel{Alpha: 50, Beta: 1},
+		}
+		if _, _, err := Optimize(tr, opt); err != nil { // warm pool
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, _, err := Optimize(tr, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := allocsAt(500), allocsAt(1000)
+	if grow := long - short; grow > 50 {
+		t.Fatalf("allocations grew by %.0f over 500 extra slots (%.0f -> %.0f)",
+			grow, short, long)
+	}
+}
+
+func BenchmarkOptimizeParallel(b *testing.B) {
+	tr := trace.SyntheticStarWarsFrames(1, 1200)
+	for _, p := range []int{1, 2, 4} {
+		opt := Options{
+			Levels:         stats.UniformLevels(48e3, 3e6, 20),
+			BufferBits:     300e3,
+			BufferGridBits: 300e3 / 2048,
+			Cost:           core.CostModel{Alpha: 1e6, Beta: 1},
+			Parallelism:    p,
+		}
+		b.Run(map[int]string{1: "serial", 2: "p2", 4: "p4"}[p], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Optimize(tr, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

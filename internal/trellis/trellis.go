@@ -15,9 +15,14 @@
 // exact — the returned schedule is optimal — and both can be disabled
 // individually for the ablation benchmarks.
 //
-// Implementation note: surviving states are plain values; only renegotiation
+// Implementation notes: surviving states are plain values; only renegotiation
 // events are heap-allocated, so a path's backtracking chain is one node per
-// segment rather than one per slot.
+// segment rather than one per slot. All per-slot scratch (frontiers, the
+// merged global frontier, merge cursors) lives in a pooled arena reused
+// across Optimize calls, so steady-state slots allocate no frontier entries.
+// With Options.Parallelism > 1 the per-slot advance runs on a bounded worker
+// pool, one destination rate per task (see DESIGN.md §10); the schedule is
+// identical to the serial one.
 package trellis
 
 import (
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"rcbr/internal/core"
 	"rcbr/internal/trace"
@@ -86,6 +92,13 @@ type Options struct {
 	// FinalSlackBits is the terminal occupancy allowance under
 	// RequireDrained.
 	FinalSlackBits float64
+	// Parallelism, when > 1, advances up to that many destination rates
+	// concurrently within each slot (capped at len(Levels)). Each rate's
+	// new frontier depends only on the previous slot's per-rate frontiers
+	// and the merged global frontier, both frozen during the advance, so
+	// the parallel schedule is bit-identical to the serial one: same cost,
+	// same renegotiation instants. 0 or 1 runs fully serial.
+	Parallelism int
 }
 
 // Stats reports the work done by the optimizer.
@@ -109,12 +122,75 @@ type event struct {
 }
 
 // entry is one surviving trellis state at the current slot: buffer occupancy
-// b and path weight w, with ev the most recent renegotiation event of its
-// path. The rate in force is ev.rate.
+// b and path weight w, with rate the level index in force and ev the most
+// recent *materialized* renegotiation event of its path. A candidate that
+// just switched rates carries its parent's event (ev.rate != rate) until the
+// end-of-slot materialize pass; switch candidates that die within their slot
+// (cross-rate pruning, truncation) therefore never allocate an event node.
 type entry struct {
-	b  float64
-	w  float64
-	ev *event
+	b    float64
+	w    float64
+	ev   *event
+	rate int32
+}
+
+// optimizer holds every scratch buffer an Optimize call needs: the per-rate
+// double-buffered frontiers, the merged global frontier, the K-way merge
+// cursors, and the truncation scratch. Instances are pooled so sweeps that
+// call Optimize in a loop reach a steady state where the frontier machinery
+// allocates nothing; capacities are retained across the whole call (and
+// across calls), fixing the per-slot regrowth the sort-based merge caused.
+type optimizer struct {
+	fronts, spare [][]entry // per-rate frontiers: ascending b, descending w
+	merged        []entry   // global Pareto merge output
+	cursor        []int     // K-way merge cursors
+	heap          []int32   // rate-index min-heap for the large-K merge
+	ws            []float64 // truncateFrontiers scratch
+	drain         []float64 // bits per slot at each level
+	slotCost      []float64 // beta cost of one slot at each level
+	nodes         []int64   // per-rate NodesExpanded counters
+}
+
+var optPool = sync.Pool{New: func() any { return new(optimizer) }}
+
+// getOptimizer returns a pooled optimizer sized for K rate levels.
+func getOptimizer(k int) *optimizer {
+	o := optPool.Get().(*optimizer)
+	o.fronts = sizeFrontiers(o.fronts, k)
+	o.spare = sizeFrontiers(o.spare, k)
+	if cap(o.cursor) < k {
+		o.cursor = make([]int, k)
+		o.heap = make([]int32, k)
+		o.drain = make([]float64, k)
+		o.slotCost = make([]float64, k)
+		o.nodes = make([]int64, k)
+	}
+	o.cursor = o.cursor[:k]
+	o.drain = o.drain[:k]
+	o.slotCost = o.slotCost[:k]
+	o.nodes = o.nodes[:k]
+	for i := range o.nodes {
+		o.nodes[i] = 0
+	}
+	return o
+}
+
+func sizeFrontiers(f [][]entry, k int) [][]entry {
+	for len(f) < k {
+		f = append(f, nil)
+	}
+	return f[:k]
+}
+
+// release returns the optimizer to the pool. Event pointers are cleared up
+// to capacity so pooled buffers do not pin dead path chains.
+func (o *optimizer) release() {
+	for i := range o.fronts {
+		clear(o.fronts[i][:cap(o.fronts[i])])
+		clear(o.spare[i][:cap(o.spare[i])])
+	}
+	clear(o.merged[:cap(o.merged)])
+	optPool.Put(o)
 }
 
 // Optimize computes the optimal renegotiation schedule for the trace under
@@ -127,67 +203,68 @@ func Optimize(tr *trace.Trace, opt Options) (*core.Schedule, Stats, error) {
 	}
 	slotSec := tr.SlotSeconds()
 	K := len(opt.Levels)
-	drain := make([]float64, K)    // bits per slot at each level
-	slotCost := make([]float64, K) // beta cost of one slot at each level
+	o := getOptimizer(K)
+	defer o.release()
 	for k, r := range opt.Levels {
-		drain[k] = r * slotSec
-		slotCost[k] = opt.Cost.Beta * r * slotSec
+		o.drain[k] = r * slotSec
+		o.slotCost[k] = opt.Cost.Beta * r * slotSec
 	}
 	caps := bufferCaps(tr, opt)
-	if err := checkFeasible(tr, drain[K-1], caps); err != nil {
+	if err := checkFeasible(tr, o.drain[K-1], caps); err != nil {
 		return nil, st, err
 	}
 
-	fronts := make([][]entry, K) // per-rate frontier: ascending b, descending w
-	spare := make([][]entry, K)  // double buffers
-	var scratch []entry
+	run := &slotRun{o: o, opt: &opt}
+	workers := opt.Parallelism
+	if workers > K {
+		workers = K
+	}
+	if workers > 1 {
+		run.startWorkers(workers)
+		defer run.stopWorkers()
+	}
 
 	for t := 0; t < tr.Len(); t++ {
-		a := float64(tr.FrameBits[t])
-		bcap := caps[t]
-		var global []entry
+		run.t = int32(t)
+		run.a = float64(tr.FrameBits[t])
+		run.bcap = caps[t]
 		if t > 0 {
-			global = mergeGlobal(fronts, &scratch, opt.Pruning)
+			run.global = o.mergeGlobal(opt.Pruning)
+		} else {
+			run.global = nil
 		}
-		var total int
-		for k := 0; k < K; k++ {
-			var nf []entry
-			if t == 0 {
-				b := clampQuantize(a-drain[k], opt.BufferGridBits)
-				if b <= bcap {
-					nf = append(spare[k][:0], entry{
-						b: b, w: slotCost[k],
-						ev: &event{slot: 0, rate: int32(k)},
-					})
-					st.NodesExpanded++
-				} else {
-					nf = spare[k][:0]
-				}
-			} else {
-				nf = advance(spare[k][:0], fronts[k], global, int32(t), a,
-					drain[k], slotCost[k], opt.Cost.Alpha, bcap,
-					opt.BufferGridBits, int32(k), opt.Pruning, &st)
+		if workers > 1 {
+			run.dispatch(K)
+		} else {
+			for k := 0; k < K; k++ {
+				run.advanceRate(k)
 			}
-			spare[k] = nf
-			total += len(nf)
 		}
-		fronts, spare = spare, fronts
+		o.fronts, o.spare = o.spare, o.fronts
+		var total int
+		for k := range o.fronts {
+			total += len(o.fronts[k])
+		}
 		if total == 0 {
 			return nil, st, fmt.Errorf("%w: stuck at slot %d", ErrInfeasible, t)
 		}
 		if opt.Pruning == PruneFull {
-			total = crossPrune(fronts, &scratch, opt.Cost.Alpha)
+			total = o.crossPrune(opt.Cost.Alpha)
 		}
 		if opt.MaxFrontier > 0 && total > opt.MaxFrontier {
-			total = truncateFrontiers(fronts, opt.MaxFrontier)
+			total = o.truncateFrontiers(opt.MaxFrontier)
 			st.Truncated = true
 		}
 		if total > st.MaxFrontier {
 			st.MaxFrontier = total
 		}
+		o.materialize(int32(t))
+	}
+	for _, n := range o.nodes {
+		st.NodesExpanded += n
 	}
 
-	best, ok := bestEntry(fronts, opt)
+	best, ok := bestEntry(o.fronts, opt)
 	if !ok {
 		if opt.RequireDrained {
 			return nil, st, fmt.Errorf("%w: no schedule drains the buffer to %g bits",
@@ -197,6 +274,70 @@ func Optimize(tr *trace.Trace, opt Options) (*core.Schedule, Stats, error) {
 	}
 	st.Cost = best.w
 	return buildSchedule(best.ev, tr.Len(), slotSec, opt.Levels), st, nil
+}
+
+// slotRun carries the per-slot state shared between the coordinating
+// goroutine and the advance workers. The coordinator writes t, a, bcap and
+// global before dispatching; workers only read them and only write their own
+// rate's spare frontier and node counter, so the channel send / WaitGroup
+// barrier is the only synchronization needed.
+type slotRun struct {
+	o      *optimizer
+	opt    *Options
+	t      int32
+	a      float64
+	bcap   float64
+	global []entry
+	tasks  chan int
+	wg     sync.WaitGroup
+}
+
+// startWorkers launches n persistent advance workers for the whole call.
+func (r *slotRun) startWorkers(n int) {
+	r.tasks = make(chan int, len(r.o.fronts))
+	for i := 0; i < n; i++ {
+		go func() {
+			for k := range r.tasks {
+				r.advanceRate(k)
+				r.wg.Done()
+			}
+		}()
+	}
+}
+
+// dispatch fans the K destination rates out to the workers and waits for
+// the slot's merge barrier.
+func (r *slotRun) dispatch(k int) {
+	r.wg.Add(k)
+	for i := 0; i < k; i++ {
+		r.tasks <- i
+	}
+	r.wg.Wait()
+}
+
+func (r *slotRun) stopWorkers() { close(r.tasks) }
+
+// advanceRate computes destination rate k's next frontier into the spare
+// buffer. Safe to run concurrently for distinct k: it reads the frozen
+// previous frontiers and writes only spare[k] and nodes[k].
+func (r *slotRun) advanceRate(k int) {
+	o := r.o
+	out := o.spare[k][:0]
+	if r.t == 0 {
+		b := clampQuantize(r.a-o.drain[k], r.opt.BufferGridBits)
+		if b <= r.bcap {
+			out = append(out, entry{
+				b: b, w: o.slotCost[k], rate: int32(k),
+				ev: &event{slot: 0, rate: int32(k)},
+			})
+			o.nodes[k]++
+		}
+	} else {
+		out = advance(out, o.fronts[k], r.global, r.a,
+			o.drain[k], o.slotCost[k], r.opt.Cost.Alpha, r.bcap,
+			r.opt.BufferGridBits, int32(k), r.opt.Pruning, &o.nodes[k])
+	}
+	o.spare[k] = out
 }
 
 // buildSchedule converts an event chain into a core.Schedule.
@@ -249,6 +390,9 @@ func validateOptions(tr *trace.Trace, opt Options) error {
 	}
 	if opt.FinalSlackBits < 0 {
 		return fmt.Errorf("trellis: negative final slack")
+	}
+	if opt.Parallelism < 0 {
+		return fmt.Errorf("trellis: negative parallelism")
 	}
 	return nil
 }
@@ -308,13 +452,13 @@ func clampQuantize(b, grid float64) float64 {
 // staying candidates from the same-rate frontier plus switching candidates
 // (alpha surcharge, fresh event) from the global frontier, Pareto-merged in
 // ascending-b order.
-func advance(out []entry, same, global []entry, t int32, a, drain, slotCost,
-	alpha, bcap, grid float64, k int32, pr Pruning, st *Stats) []entry {
+func advance(out []entry, same, global []entry, a, drain, slotCost,
+	alpha, bcap, grid float64, k int32, pr Pruning, nodes *int64) []entry {
 
 	i, j := 0, 0
 	minW := math.Inf(1)
-	push := func(b, w float64, ev *event, fresh bool) {
-		st.NodesExpanded++
+	push := func(b, w float64, ev *event) {
+		*nodes++
 		b = clampQuantize(b, grid)
 		if b > bcap {
 			return
@@ -336,10 +480,10 @@ func advance(out []entry, same, global []entry, t int32, a, drain, slotCost,
 			}
 			minW = w
 		}
-		if fresh {
-			ev = &event{slot: t, rate: k, parent: ev}
-		}
-		out = append(out, entry{b: b, w: w, ev: ev})
+		// A switching candidate (ev.rate != k) stays unmaterialized: the
+		// end-of-slot materialize pass allocates its event node only if it
+		// survives the slot's pruning.
+		out = append(out, entry{b: b, w: w, ev: ev, rate: k})
 	}
 	// Both lists are sorted by b ascending; the common shift b+a-drain
 	// preserves order, so a two-way merge visits candidates in ascending
@@ -357,49 +501,158 @@ func advance(out []entry, same, global []entry, t int32, a, drain, slotCost,
 		if takeSame {
 			e := same[i]
 			i++
-			push(e.b+a-drain, e.w+slotCost, e.ev, false)
+			push(e.b+a-drain, e.w+slotCost, e.ev)
 		} else {
 			g := global[j]
 			j++
-			if g.ev.rate == k {
+			if g.rate == k {
 				// The no-alpha version of this candidate comes from the
 				// same-rate list; the alpha version is dominated.
 				continue
 			}
-			push(g.b+a-drain, g.w+slotCost+alpha, g.ev, true)
+			push(g.b+a-drain, g.w+slotCost+alpha, g.ev)
 		}
 	}
 	return out
 }
 
+// materialize allocates the event node for every entry that switched rates
+// this slot and survived pruning; ev.rate != rate marks the pending ones.
+// Running after crossPrune/truncateFrontiers means dead switch candidates
+// cost no allocation at all, which is what keeps steady-state slots
+// entry- and event-allocation free.
+func (o *optimizer) materialize(t int32) {
+	for k := range o.fronts {
+		f := o.fronts[k]
+		for i := range f {
+			if f[i].ev.rate != f[i].rate {
+				f[i].ev = &event{slot: t, rate: f[i].rate, parent: f[i].ev}
+			}
+		}
+	}
+}
+
 // mergeGlobal builds the global Pareto frontier across all rates, used as
-// the source set for rate-switch candidates. Under PruneExact the merge
-// keeps everything (sorted by b) so no cross-rate state is lost.
-func mergeGlobal(fronts [][]entry, scratch *[]entry, pr Pruning) []entry {
-	all := (*scratch)[:0]
-	for _, f := range fronts {
-		all = append(all, f...)
+// the source set for rate-switch candidates. The per-rate frontiers are
+// already sorted by b ascending, so a K-way cursor merge visits candidates
+// in (b, w) order without the sort (and its per-slot allocations) the old
+// implementation paid; the Pareto filter folds into the same pass. Under
+// PruneExact the merge keeps everything (sorted by b, then w) so no
+// cross-rate state is lost.
+// mergeHeapMinK is the level count above which the K-way merge switches
+// from a linear head scan (O(N*K), best for a handful of rates) to a
+// cursor min-heap (O(N log K)). The crossover sits around a dozen lanes.
+const mergeHeapMinK = 12
+
+func (o *optimizer) mergeGlobal(pr Pruning) []entry {
+	if len(o.fronts) >= mergeHeapMinK {
+		return o.mergeGlobalHeap(pr)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].b != all[j].b {
-			return all[i].b < all[j].b
-		}
-		return all[i].w < all[j].w
-	})
-	if pr == PruneExact {
-		*scratch = all
-		return all
+	out := o.merged[:0]
+	cur := o.cursor
+	for k := range cur {
+		cur[k] = 0
 	}
-	out := all[:0]
 	minW := math.Inf(1)
-	for _, e := range all {
-		if e.w < minW {
-			minW = e.w
-			out = append(out, e)
+	for {
+		best := -1
+		var be entry
+		for k, f := range o.fronts {
+			i := cur[k]
+			if i >= len(f) {
+				continue
+			}
+			e := f[i]
+			if best < 0 || e.b < be.b || (e.b == be.b && e.w < be.w) {
+				best, be = k, e
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur[best]++
+		if pr == PruneExact {
+			out = append(out, be)
+		} else if be.w < minW {
+			minW = be.w
+			out = append(out, be)
 		}
 	}
-	*scratch = all[:len(out)]
+	o.merged = out
 	return out
+}
+
+// mergeGlobalHeap is mergeGlobal on a min-heap of per-rate cursors, for
+// runs with many levels. Ties on (b, w) break toward the lower rate index,
+// exactly like the linear scan, so both paths emit the same sequence.
+func (o *optimizer) mergeGlobalHeap(pr Pruning) []entry {
+	out := o.merged[:0]
+	cur := o.cursor
+	h := o.heap[:0]
+	for k := range o.fronts {
+		cur[k] = 0
+		if len(o.fronts[k]) > 0 {
+			h = append(h, int32(k))
+		}
+	}
+	o.heap = h
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		o.heapDown(i)
+	}
+	minW := math.Inf(1)
+	for len(o.heap) > 0 {
+		h = o.heap
+		k := h[0]
+		be := o.fronts[k][cur[k]]
+		cur[k]++
+		if cur[k] >= len(o.fronts[k]) {
+			h[0] = h[len(h)-1]
+			o.heap = h[:len(h)-1]
+		}
+		o.heapDown(0)
+		if pr == PruneExact {
+			out = append(out, be)
+		} else if be.w < minW {
+			minW = be.w
+			out = append(out, be)
+		}
+	}
+	o.heap = o.heap[:0]
+	o.merged = out
+	return out
+}
+
+// headLess orders two rate lanes by their current head entry: (b, w)
+// lexicographically, lower rate index on full ties.
+func (o *optimizer) headLess(ki, kj int32) bool {
+	a, b := o.fronts[ki][o.cursor[ki]], o.fronts[kj][o.cursor[kj]]
+	if a.b != b.b {
+		return a.b < b.b
+	}
+	if a.w != b.w {
+		return a.w < b.w
+	}
+	return ki < kj
+}
+
+// heapDown restores the min-heap property from index i.
+func (o *optimizer) heapDown(i int) {
+	h := o.heap
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && o.headLess(h[r], h[l]) {
+			m = r
+		}
+		if !o.headLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // crossPrune applies the cross-rate half of Lemma 1: an entry (b, w, k) is
@@ -408,30 +661,35 @@ func mergeGlobal(fronts [][]entry, scratch *[]entry, pr Pruning) []entry {
 // alpha == 0 the comparison is made strict, which keeps every global-Pareto
 // member and collapses each frontier onto it (switching is free, so nothing
 // off the global frontier can be optimal). It returns the surviving total.
-func crossPrune(fronts [][]entry, scratch *[]entry, alpha float64) int {
-	global := mergeGlobal(fronts, scratch, PruneFull)
+func (o *optimizer) crossPrune(alpha float64) int {
+	global := o.mergeGlobal(PruneFull)
 	if len(global) == 0 {
 		return 0
 	}
 	total := 0
-	for k, f := range fronts {
+	for k, f := range o.fronts {
 		out := f[:0]
 		gi := 0
 		bestW := math.Inf(1)
 		var bestEv *event
+		var bestRate int32 = -1
 		for _, e := range f {
 			// Advance the global cursor to cover all entries with b <= e.b;
 			// weights descend along b, so the last covered is the minimum.
 			for gi < len(global) && global[gi].b <= e.b {
 				bestW = global[gi].w
 				bestEv = global[gi].ev
+				bestRate = global[gi].rate
 				gi++
 			}
 			var dominated bool
 			if alpha == 0 {
 				// Free switching makes equal-weight states across rates
 				// interchangeable; keep only the global representative.
-				dominated = bestW < e.w || (bestW == e.w && bestEv != e.ev)
+				// Identity is (event, rate): unmaterialized switch twins
+				// share their parent's event but differ in rate.
+				dominated = bestW < e.w ||
+					(bestW == e.w && !(bestEv == e.ev && bestRate == e.rate))
 			} else {
 				dominated = bestW+alpha <= e.w
 			}
@@ -440,7 +698,7 @@ func crossPrune(fronts [][]entry, scratch *[]entry, alpha float64) int {
 			}
 			out = append(out, e)
 		}
-		fronts[k] = out
+		o.fronts[k] = out
 		total += len(out)
 	}
 	return total
@@ -448,17 +706,18 @@ func crossPrune(fronts [][]entry, scratch *[]entry, alpha float64) int {
 
 // truncateFrontiers keeps the max lowest-weight states overall, preserving
 // each frontier's b-ascending order. Used only when MaxFrontier binds.
-func truncateFrontiers(fronts [][]entry, max int) int {
-	var ws []float64
-	for _, f := range fronts {
+func (o *optimizer) truncateFrontiers(max int) int {
+	ws := o.ws[:0]
+	for _, f := range o.fronts {
 		for _, e := range f {
 			ws = append(ws, e.w)
 		}
 	}
+	o.ws = ws
 	sort.Float64s(ws)
 	cut := ws[max-1]
 	total := 0
-	for k, f := range fronts {
+	for k, f := range o.fronts {
 		out := f[:0]
 		for _, e := range f {
 			if e.w <= cut && total < max {
@@ -466,7 +725,7 @@ func truncateFrontiers(fronts [][]entry, max int) int {
 				total++
 			}
 		}
-		fronts[k] = out
+		o.fronts[k] = out
 	}
 	return total
 }
