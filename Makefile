@@ -13,7 +13,7 @@ RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./cm
 # invocation, hence the explicit list.
 FUZZTIME ?= 10s
 
-.PHONY: all lint test race race-parallel fuzz bench bench-json bench-speedup
+.PHONY: all lint test race race-parallel fuzz bench bench-json bench-compare bench-speedup
 
 all: lint test race
 
@@ -38,10 +38,12 @@ race:
 	$(MAKE) race-parallel
 
 # race-parallel covers the worker pools added for the parallel optimizer
-# and the experiment sweep runner.
+# and the experiment sweep runner, plus the sharded-fabric churn shim behind
+# the scaling benchmarks.
 race-parallel:
 	$(GO) test -race -run 'Parallel' ./internal/trellis/
 	$(GO) test -race -run 'Sweep|Fig|MBAC|Latency|Chernoff' ./internal/experiments/
+	$(GO) test -race -run 'Parallel' ./internal/switchfab/
 
 # fuzz smokes every fuzz target for FUZZTIME each: long enough to catch
 # shallow regressions in the parsers, short enough for every CI run.
@@ -66,6 +68,15 @@ BENCHJSON ?= BENCH_trellis.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -o $(BENCHJSON)
+
+# bench-compare reruns the tier-1 benchmarks and diffs them against the
+# tracked baseline, failing on a >15% ns/op regression. One-shot runs are
+# noisy, so CI treats this as advisory (continue-on-error); for a trustworthy
+# verdict use a longer benchtime on a quiet machine.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -o BENCH_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold 15 $(BENCHJSON) BENCH_new.json
 
 # bench-speedup runs the full two-hour-trace optimization serial vs
 # Parallelism=4 — the EXPERIMENTS.md speedup record.

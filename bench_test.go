@@ -527,6 +527,72 @@ func BenchmarkRMCellRoundTrip(b *testing.B) {
 	}
 }
 
+// --- Sharded fabric at scale (tracked subset of internal/switchfab) ---
+
+// benchFabricSwitch builds a fabric with vcs established circuits striped
+// over 64 ports; shards 0 means the default shard count, 1 the legacy
+// single-lock layout.
+func benchFabricSwitch(b *testing.B, shards, vcs int) *switchfab.Switch {
+	b.Helper()
+	var opts []switchfab.Option
+	if shards > 0 {
+		opts = append(opts, switchfab.WithShards(shards))
+	}
+	sw := switchfab.New(opts...)
+	const ports = 64
+	for p := 0; p < ports; p++ {
+		if err := sw.AddPort(p, 1e12); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < vcs; i++ {
+		id := switchfab.MakeVCID(uint8(i>>16), uint16(i))
+		if err := sw.SetupID(id, i%ports, 100e3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sw
+}
+
+func benchFabricRM(b *testing.B, shards, vcs int) {
+	sw := benchFabricSwitch(b, shards, vcs)
+	m := cell.RM{Resync: true, ER: 100e3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % vcs
+		id := switchfab.MakeVCID(uint8(idx>>16), uint16(idx))
+		h := cell.Header{VPI: id.VPI(), VCI: id.VCI()}
+		if _, err := sw.HandleRM(h, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricRMSharded64k(b *testing.B) { benchFabricRM(b, 0, 65536) }
+func BenchmarkFabricRMLegacy64k(b *testing.B)  { benchFabricRM(b, 1, 65536) }
+
+func BenchmarkFabricRMBatch(b *testing.B) {
+	const vcs = 16384
+	sw := benchFabricSwitch(b, 0, vcs)
+	const k = 32
+	items := make([]switchfab.RMItem, k)
+	for i := range items {
+		id := switchfab.MakeVCID(0, uint16(i*37%vcs))
+		items[i] = switchfab.RMItem{VPI: id.VPI(), VCI: id.VCI(),
+			M: cell.RM{Resync: true, ER: 100e3}}
+	}
+	out := make([]switchfab.RMItem, 0, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += k {
+		out = sw.HandleRMBatch(items, out[:0])
+		if len(out) != k {
+			b.Fatalf("%d replies, want %d", len(out), k)
+		}
+	}
+}
+
 func BenchmarkSwitchHandleRM(b *testing.B) {
 	sw := switchfab.New(nil)
 	if err := sw.AddPort(1, 155e6); err != nil {

@@ -9,6 +9,15 @@
 // that are not benchmark results (test chatter, PASS/ok) pass through to
 // stdout untouched, so the command can sit at the end of a pipe without
 // hiding failures.
+//
+// With -compare it instead diffs two recorded baselines:
+//
+//	benchjson -compare -threshold 15 BENCH_trellis.json BENCH_new.json
+//
+// and exits non-zero if any benchmark present in both files regressed by
+// more than the threshold percent in ns/op. Benchmarks that appear in only
+// one file are reported but never fatal, so adding or retiring a benchmark
+// does not break the gate.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -41,7 +51,24 @@ type Baseline struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two baseline files instead of recording")
+	threshold := flag.Float64("threshold", 15, "ns/op regression percent that fails -compare")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two baseline files")
+			os.Exit(2)
+		}
+		regressed, err := compareBaselines(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	base, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -65,6 +92,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compareBaselines diffs the benchmarks shared by two baseline files and
+// reports whether any regressed by more than threshold percent in ns/op.
+func compareBaselines(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldBase, err := readBaseline(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newBase, err := readBaseline(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldByName := make(map[string]Result, len(oldBase.Results))
+	for _, r := range oldBase.Results {
+		oldByName[r.Name] = r
+	}
+	var regressed bool
+	seen := make(map[string]bool, len(newBase.Results))
+	for _, nr := range newBase.Results {
+		seen[nr.Name] = true
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "new    %-40s %12.1f ns/op (no baseline)\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		if or.NsPerOp <= 0 {
+			continue
+		}
+		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		verdict := "ok    "
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-6s %-40s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+			verdict, nr.Name, or.NsPerOp, nr.NsPerOp, delta)
+	}
+	for _, or := range oldBase.Results {
+		if !seen[or.Name] {
+			fmt.Fprintf(w, "gone   %-40s %12.1f ns/op (not in new run)\n", or.Name, or.NsPerOp)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% threshold\n", threshold)
+	}
+	return regressed, nil
+}
+
+func readBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return Baseline{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return base, nil
 }
 
 func parse(sc *bufio.Scanner) (Baseline, error) {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -33,6 +36,63 @@ func TestStripProcs(t *testing.T) {
 		if got := stripProcs(in); got != want {
 			t.Fatalf("stripProcs(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func writeBaseline(t *testing.T, name string, results ...Result) string {
+	t.Helper()
+	data, err := json.Marshal(Baseline{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaselines(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json",
+		Result{Name: "BenchmarkA", NsPerOp: 100},
+		Result{Name: "BenchmarkB", NsPerOp: 100},
+		Result{Name: "BenchmarkGone", NsPerOp: 100})
+	newPath := writeBaseline(t, "new.json",
+		Result{Name: "BenchmarkA", NsPerOp: 110}, // +10%: within threshold
+		Result{Name: "BenchmarkB", NsPerOp: 200}, // +100%: regression
+		Result{Name: "BenchmarkNew", NsPerOp: 50})
+	var buf strings.Builder
+	regressed, err := compareBaselines(&buf, oldPath, newPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("2x slowdown not flagged as a regression")
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "BenchmarkB", "no baseline", "not in new run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// At a 150% threshold the same pair passes: new and gone benchmarks are
+	// advisory only.
+	if regressed, err = compareBaselines(&buf, oldPath, newPath, 150); err != nil || regressed {
+		t.Errorf("regressed=%v err=%v at 150%% threshold", regressed, err)
+	}
+}
+
+func TestCompareBaselinesBadFile(t *testing.T) {
+	good := writeBaseline(t, "good.json", Result{Name: "BenchmarkA", NsPerOp: 1})
+	if _, err := compareBaselines(&strings.Builder{}, good, filepath.Join(t.TempDir(), "missing.json"), 15); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compareBaselines(&strings.Builder{}, bad, good, 15); err == nil {
+		t.Error("malformed baseline accepted")
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 
 	"rcbr/internal/metrics"
 	"rcbr/internal/switchfab"
@@ -10,12 +11,14 @@ import (
 
 // newHTTPHandler serves the daemon's observability endpoints:
 //
-//	GET /metrics  the registry snapshot (counters, gauges, histograms) as JSON
-//	GET /vcs      the established-VC table plus the retained event trace
+//	GET /metrics       the registry snapshot (counters, gauges, histograms) as JSON
+//	GET /vcs           the established-VC table plus the retained event trace
+//	GET /debug/pprof/  the Go runtime profiles (only with withPprof)
 //
-// Both are read-only views; neither perturbs the signaling path beyond the
-// instruments it already updates.
-func newHTTPHandler(reg *metrics.Registry, sw *switchfab.Switch, ring *metrics.EventRing) http.Handler {
+// The first two are read-only views; neither perturbs the signaling path
+// beyond the instruments it already updates. The profile endpoints are
+// opt-in (-pprof) because a CPU or trace capture does perturb the daemon.
+func newHTTPHandler(reg *metrics.Registry, sw *switchfab.Switch, ring *metrics.EventRing, withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -36,6 +39,15 @@ func newHTTPHandler(reg *metrics.Registry, sw *switchfab.Switch, ring *metrics.E
 		}
 		writeJSON(w, resp)
 	})
+	if withPprof {
+		// net/http/pprof self-registers on http.DefaultServeMux; the daemon
+		// serves a private mux, so mount the handlers explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

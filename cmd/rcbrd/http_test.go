@@ -32,7 +32,7 @@ func TestEndpointsShowSignalingActivity(t *testing.T) {
 	defer srv.Close()
 	go srv.Serve() //nolint:errcheck
 
-	web := httptest.NewServer(newHTTPHandler(reg, sw, ring))
+	web := httptest.NewServer(newHTTPHandler(reg, sw, ring, false))
 	defer web.Close()
 
 	ctx := context.Background()
@@ -113,6 +113,29 @@ func TestEndpointsShowSignalingActivity(t *testing.T) {
 		if kinds[i] != want[i] {
 			t.Fatalf("event kinds = %v, want %v", kinds, want)
 		}
+	}
+}
+
+// TestPprofGating: /debug/pprof/ is present only when the -pprof flag asked
+// for it.
+func TestPprofGating(t *testing.T) {
+	sw := switchfab.New()
+	get := func(h http.Handler) int {
+		t.Helper()
+		web := httptest.NewServer(h)
+		defer web.Close()
+		resp, err := http.Get(web.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(newHTTPHandler(nil, sw, nil, false)); code != http.StatusNotFound {
+		t.Errorf("pprof off: GET /debug/pprof/ = %d, want 404", code)
+	}
+	if code := get(newHTTPHandler(nil, sw, nil, true)); code != http.StatusOK {
+		t.Errorf("pprof on: GET /debug/pprof/ = %d, want 200", code)
 	}
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rcbrd [-listen 127.0.0.1:4059] [-ports "1:155e6,2:155e6"] [-v]
-//	      [-http 127.0.0.1:8059] [-events 256] [-workers 4] [-queue 256]
+//	      [-http 127.0.0.1:8059] [-events 256] [-workers 4] [-queue 256] [-pprof]
 //
 // -workers sets the number of concurrent signaling handlers and -queue the
 // depth of the datagram queue feeding them; when the queue is full further
@@ -16,7 +16,8 @@
 // daemon additionally serves GET /metrics (the JSON metrics snapshot: per-port
 // reserved/capacity gauges, setup/renegotiation/teardown counters, latency
 // histograms) and GET /vcs (the established-VC table plus the last -events
-// per-VC lifecycle events).
+// per-VC lifecycle events). Adding -pprof mounts the Go runtime profiles
+// under /debug/pprof/ on the same listener for live profiling.
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "log signaling errors")
 		httpAddr = flag.String("http", "", "serve /metrics and /vcs on this TCP address (empty disables)")
 		events   = flag.Int("events", 256, "per-VC lifecycle events retained for /vcs")
+		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ on the -http listener")
 		workers  = flag.Int("workers", netproto.DefaultWorkers, "concurrent signaling handlers")
 		queue    = flag.Int("queue", netproto.DefaultQueue, "pending-datagram queue depth (overflow is dropped)")
 	)
@@ -74,7 +76,7 @@ func main() {
 		}
 		fmt.Printf("rcbrd: http on %s\n", ln.Addr())
 		go func() {
-			if err := http.Serve(ln, newHTTPHandler(reg, sw, ring)); err != nil {
+			if err := http.Serve(ln, newHTTPHandler(reg, sw, ring, *pprofOn)); err != nil {
 				if logger != nil {
 					logger.Printf("http: %v", err)
 				}

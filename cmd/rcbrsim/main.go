@@ -71,6 +71,8 @@ func main() {
 		err = rvbrCompare(args)
 	case "signal":
 		err = signalRun(args)
+	case "fabric":
+		err = fabricRun(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -86,7 +88,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `rcbrsim regenerates the RCBR paper's figures.
-commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 datapath latency chernoff fit rvbr signal
+commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 datapath latency chernoff fit rvbr signal fabric
 run "rcbrsim <command> -h" for per-command flags`)
 }
 

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,33 +29,43 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "schedule:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
 	var (
-		mode     = flag.String("mode", "offline", "offline (optimal) or online (AR1 heuristic)")
-		in       = flag.String("in", "", "trace file (empty: synthesize)")
-		frames   = flag.Int("frames", 28800, "synthetic trace frames")
-		seed     = flag.Uint64("seed", 1, "synthetic trace seed")
-		buffer   = flag.Float64("buffer", 300e3, "source buffer B (bits)")
-		alpha    = flag.Float64("alpha", 1e6, "offline: cost per renegotiation")
-		beta     = flag.Float64("beta", 1, "offline: cost per bit of allocation")
-		levels   = flag.Int("levels", 20, "offline: number of bandwidth levels")
-		delay    = flag.Int("delay", 0, "offline: delay bound in slots (0 = none)")
-		drained  = flag.Bool("drained", false, "offline: require the buffer drained at the end")
-		delta    = flag.Float64("delta", 64e3, "online: bandwidth granularity (bits/s)")
-		gop      = flag.Bool("gopaware", false, "online: use the GOP-aware predictor")
-		dump     = flag.Bool("dump", false, "print every segment")
-		parallel = flag.Int("parallel", 1, "offline: trellis worker count (0 = GOMAXPROCS)")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mode     = fs.String("mode", "offline", "offline (optimal) or online (AR1 heuristic)")
+		in       = fs.String("in", "", "trace file (empty: synthesize)")
+		frames   = fs.Int("frames", 28800, "synthetic trace frames")
+		seed     = fs.Uint64("seed", 1, "synthetic trace seed")
+		buffer   = fs.Float64("buffer", 300e3, "source buffer B (bits)")
+		alpha    = fs.Float64("alpha", 1e6, "offline: cost per renegotiation")
+		beta     = fs.Float64("beta", 1, "offline: cost per bit of allocation")
+		levels   = fs.Int("levels", 20, "offline: number of bandwidth levels")
+		delay    = fs.Int("delay", 0, "offline: delay bound in slots (0 = none)")
+		drained  = fs.Bool("drained", false, "offline: require the buffer drained at the end")
+		delta    = fs.Float64("delta", 64e3, "online: bandwidth granularity (bits/s)")
+		gop      = fs.Bool("gopaware", false, "online: use the GOP-aware predictor")
+		dump     = fs.Bool("dump", false, "print every segment")
+		parallel = fs.Int("parallel", 1, "offline: trellis worker count (0 = GOMAXPROCS)")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -87,13 +98,13 @@ func main() {
 		tr = experiments.StarWars(*seed, *frames)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sum, err := tr.Summarize()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println("trace:", sum)
+	fmt.Fprintln(out, "trace:", sum)
 
 	var sch *core.Schedule
 	switch *mode {
@@ -111,9 +122,9 @@ func main() {
 		var st trellis.Stats
 		sch, st, err = trellis.Optimize(tr, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("optimal cost: %.4g (nodes expanded %d, max frontier %d)\n",
+		fmt.Fprintf(out, "optimal cost: %.4g (nodes expanded %d, max frontier %d)\n",
 			st.Cost, st.NodesExpanded, st.MaxFrontier)
 	case "online":
 		p := heuristic.DefaultParams(*delta)
@@ -122,34 +133,30 @@ func main() {
 		}
 		res, err := heuristic.Run(tr, *buffer, p, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sch = res.Schedule
-		fmt.Printf("online run: attempts=%d failures=%d lost=%.0f bits maxOcc=%.0f bits\n",
+		fmt.Fprintf(out, "online run: attempts=%d failures=%d lost=%.0f bits maxOcc=%.0f bits\n",
 			res.Attempts, res.Failures, res.LostBits, res.MaxOccupancy)
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
-	fmt.Printf("schedule: segments=%d renegotiations=%d interval=%.2fs\n",
+	fmt.Fprintf(out, "schedule: segments=%d renegotiations=%d interval=%.2fs\n",
 		len(sch.Segments), sch.Renegotiations(), sch.MeanRenegIntervalSec())
-	fmt.Printf("rates: mean=%.0f peak=%.0f b/s, bandwidth efficiency=%.4f\n",
+	fmt.Fprintf(out, "rates: mean=%.0f peak=%.0f b/s, bandwidth efficiency=%.4f\n",
 		sch.MeanRate(), sch.PeakRate(), sch.BandwidthEfficiency(tr))
 	res := sch.Run(tr, *buffer)
-	fmt.Printf("replay: lost=%.0f bits (%.2e of arrivals), max occupancy=%.0f bits\n",
+	fmt.Fprintf(out, "replay: lost=%.0f bits (%.2e of arrivals), max occupancy=%.0f bits\n",
 		res.LostBits, res.LossFraction(), res.MaxOccupancy)
 
 	if *dump {
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "start(s)\trate(kb/s)")
 		for _, ev := range sch.Events() {
 			fmt.Fprintf(w, "%.2f\t%.0f\n", ev.TimeSec, ev.Rate/1e3)
 		}
-		w.Flush()
+		return w.Flush()
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "schedule:", err)
-	os.Exit(1)
+	return nil
 }

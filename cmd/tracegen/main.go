@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rcbr/internal/stats"
@@ -17,30 +18,40 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		out    = flag.String("out", "", "output file (empty: print summary only)")
-		in     = flag.String("in", "", "inspect an existing trace instead of generating")
-		frames = flag.Int("frames", 172800, "number of frames")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		mean   = flag.Float64("mean", 374e3, "target mean rate (bits/s)")
-		fps    = flag.Float64("fps", 24, "frame rate")
-		gop    = flag.String("gop", "IBBPBBPBBPBB", "GOP pattern")
-		text   = flag.Bool("text", false, "write the text format instead of binary")
-		peaks  = flag.Bool("peaks", false, "list sustained peaks >= 4x mean")
+		outFile = fs.String("out", "", "output file (empty: print summary only)")
+		in      = fs.String("in", "", "inspect an existing trace instead of generating")
+		frames  = fs.Int("frames", 172800, "number of frames")
+		seed    = fs.Uint64("seed", 1, "generator seed")
+		mean    = fs.Float64("mean", 374e3, "target mean rate (bits/s)")
+		fps     = fs.Float64("fps", 24, "frame rate")
+		gop     = fs.String("gop", "IBBPBBPBBPBB", "GOP pattern")
+		text    = fs.Bool("text", false, "write the text format instead of binary")
+		peaks   = fs.Bool("peaks", false, "list sustained peaks >= 4x mean")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var tr *trace.Trace
 	if *in != "" {
 		var err error
 		tr, err = trace.Load(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		pattern, err := trace.ParseGOP(*gop)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg := trace.DefaultStarWarsConfig()
 		cfg.Frames = *frames
@@ -49,15 +60,15 @@ func main() {
 		cfg.GOP = pattern
 		tr, err = trace.Synthesize(cfg, stats.NewRNG(*seed))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	sum, err := tr.Summarize()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(sum)
+	fmt.Fprintln(out, sum)
 
 	if *peaks {
 		window := int(tr.FPS)
@@ -65,21 +76,17 @@ func main() {
 			window = 1
 		}
 		for _, p := range tr.SustainedPeaks(4*tr.MeanRate(), window) {
-			fmt.Printf("peak: start=%.1fs dur=%.1fs mean=%.0f b/s (%.2fx)\n",
+			fmt.Fprintf(out, "peak: start=%.1fs dur=%.1fs mean=%.0f b/s (%.2fx)\n",
 				float64(p.Start)/tr.FPS, p.Seconds(tr.FPS), p.MeanRate,
 				p.MeanRate/tr.MeanRate())
 		}
 	}
 
-	if *out != "" {
-		if err := tr.Save(*out, !*text); err != nil {
-			fatal(err)
+	if *outFile != "" {
+		if err := tr.Save(*outFile, !*text); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Fprintf(out, "wrote %s\n", *outFile)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke test: generate a short trace, write it out, and read it back through
+// the -in inspection path; the two summaries must agree.
+func TestRunGenerateAndInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short.rcbt")
+	var gen strings.Builder
+	if err := run([]string{"-frames", "480", "-out", path}, &gen); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gen.String(), "wrote "+path) {
+		t.Fatalf("generation output missing write confirmation:\n%s", gen.String())
+	}
+	var insp strings.Builder
+	if err := run([]string{"-in", path}, &insp); err != nil {
+		t.Fatal(err)
+	}
+	genSummary := strings.SplitN(gen.String(), "\n", 2)[0]
+	inspSummary := strings.SplitN(insp.String(), "\n", 2)[0]
+	if genSummary != inspSummary {
+		t.Errorf("summary changed across save/load:\n gen: %s\nload: %s", genSummary, inspSummary)
+	}
+}
+
+func TestRunBadGOP(t *testing.T) {
+	if err := run([]string{"-frames", "480", "-gop", "XYZ"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad GOP pattern accepted")
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "nope.rcbt")}, &strings.Builder{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

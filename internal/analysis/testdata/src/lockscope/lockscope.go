@@ -143,3 +143,66 @@ func (f *fabric) dispatchUnderLock() {
 	f.wg.Wait() // want "sync.WaitGroup.Wait"
 	f.mu.Unlock()
 }
+
+// shard mirrors the sharded switch fabric: VC state lives in per-shard maps
+// behind per-shard RWMutexes, with per-port accounting behind its own
+// mutex nested inside (lock order: shard before port, never two shards at
+// once).
+type shard struct {
+	mu  sync.RWMutex
+	vcs map[uint32]float64
+}
+
+type shardedFabric struct {
+	shards []shard
+	portMu sync.Mutex
+	load   float64
+	conn   *net.Conn
+	ch     chan int
+}
+
+// shardThenPort is the fabric's hot path: shard read lock, then the port
+// mutex nested inside for the accounting update. Nested mutexes are not
+// blocking operations; the analyzer must stay silent.
+func (sf *shardedFabric) shardThenPort(id uint32, delta float64) {
+	sh := &sf.shards[id&uint32(len(sf.shards)-1)]
+	sh.mu.RLock()
+	if _, ok := sh.vcs[id]; ok {
+		sf.portMu.Lock()
+		sf.load += delta
+		sf.portMu.Unlock()
+	}
+	sh.mu.RUnlock()
+}
+
+// batchPerShardGroups is HandleRMBatch's shape: one exclusive-free pass per
+// shard group, each group's lock released before the next is taken, and the
+// reply channel fed only after the last unlock.
+func (sf *shardedFabric) batchPerShardGroups(ids []uint32) {
+	for _, id := range ids {
+		sh := &sf.shards[id&uint32(len(sf.shards)-1)]
+		sh.mu.RLock()
+		_ = sh.vcs[id]
+		sh.mu.RUnlock()
+	}
+	sf.ch <- 1
+}
+
+// shardLockAcrossReply is the anti-pattern the sharded refactor must never
+// reintroduce: writing the signaling reply — network I/O — while the
+// shard's lock pins every other VC that hashes to it.
+func (sf *shardedFabric) shardLockAcrossReply(id uint32) {
+	sh := &sf.shards[id&uint32(len(sf.shards)-1)]
+	sh.mu.RLock()
+	sf.conn.Write(nil) // want "sh.mu is held across net.Conn.Write"
+	sh.mu.RUnlock()
+}
+
+// portLockAcrossHandoff: same defect one level down — the per-port mutex
+// held across a channel handoff to the reply worker.
+func (sf *shardedFabric) portLockAcrossHandoff(delta float64) {
+	sf.portMu.Lock()
+	sf.load += delta
+	sf.ch <- 1 // want "sf.portMu is held across a channel send"
+	sf.portMu.Unlock()
+}

@@ -48,7 +48,9 @@ type Event struct {
 	Time time.Time
 	// Kind says what happened.
 	Kind EventKind
-	// VCI and Port identify the circuit.
+	// VPI, VCI, and Port identify the circuit. VPI is zero for the common
+	// single-path address space.
+	VPI  uint8
 	VCI  uint16
 	Port int
 	// Rate is the reserved rate in force after the event, bits/second.
@@ -64,6 +66,7 @@ type eventJSON struct {
 	Seq       uint64  `json:"seq"`
 	Time      string  `json:"time"` // RFC 3339 with nanoseconds
 	Kind      string  `json:"kind"`
+	VPI       uint8   `json:"vpi,omitempty"`
 	VCI       uint16  `json:"vci"`
 	Port      int     `json:"port"`
 	Rate      float64 `json:"rate_bps"`
@@ -76,6 +79,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Seq:       e.Seq,
 		Time:      e.Time.Format(time.RFC3339Nano),
 		Kind:      e.Kind.String(),
+		VPI:       e.VPI,
 		VCI:       e.VCI,
 		Port:      e.Port,
 		Rate:      e.Rate,

@@ -23,19 +23,27 @@ const (
 	MetricClientRMSent   = "signal.client.rm_cells_sent"
 	MetricClientRMRecv   = "signal.client.rm_cells_received"
 	MetricClientRTT      = "signal.client.rtt_seconds"
+	// Batch coalescing (WithBatchWindow): whole batch frames sent, the RM
+	// messages they carried, and entries that fell back to the per-VC path.
+	MetricClientBatches        = "signal.batch.client_batches"
+	MetricClientBatchCells     = "signal.batch.client_cells"
+	MetricClientBatchFallbacks = "signal.batch.client_fallbacks"
 )
 
 // clientInstruments caches the client's registry handles; every field is a
 // nil-safe no-op when metrics are disabled.
 type clientInstruments struct {
-	requests *metrics.Counter
-	sent     *metrics.Counter
-	recv     *metrics.Counter
-	retries  *metrics.Counter
-	timeouts *metrics.Counter
-	rmSent   *metrics.Counter
-	rmRecv   *metrics.Counter
-	rtt      *metrics.Histogram
+	requests       *metrics.Counter
+	sent           *metrics.Counter
+	recv           *metrics.Counter
+	retries        *metrics.Counter
+	timeouts       *metrics.Counter
+	rmSent         *metrics.Counter
+	rmRecv         *metrics.Counter
+	rtt            *metrics.Histogram
+	batches        *metrics.Counter
+	batchCells     *metrics.Counter
+	batchFallbacks *metrics.Counter
 }
 
 // rxResult is one delivery from the reader goroutine to a waiting request:
@@ -66,8 +74,23 @@ type Client struct {
 	pending map[uint32]chan rxResult
 	closed  bool
 
+	// batchWindow > 0 enables RM coalescing (WithBatchWindow); bmu guards
+	// the window's pending entries and flush timer.
+	batchWindow time.Duration
+	bmu         sync.Mutex
+	bpend       []batchEntry
+	btimer      *time.Timer
+
 	readerDone chan struct{}
 }
+
+// pktPool holds request-encode buffers so the steady-state signaling path
+// reuses one buffer per in-flight request instead of allocating per
+// datagram.
+var pktPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, maxFrame)
+	return &b
+}}
 
 // ErrTimeout is returned when a request exhausts its retries.
 var ErrTimeout = errors.New("netproto: request timed out")
@@ -100,6 +123,24 @@ func WithRetries(n int) ClientOption {
 	}
 }
 
+// WithBatchWindow enables client-side RM coalescing: Renegotiate calls
+// arriving within d of each other are merged into one version-3 batch frame
+// of up to MaxRMBatch entries (distinct VCs; a repeat for a VC already in
+// the window flushes it early). Batched entries are sequenced deltas, so
+// the whole frame retransmits unchanged on timeout — the switch's duplicate
+// filter makes the replay harmless. An entry the batch path cannot resolve
+// (a v2-only peer, an unknown VC, a batch-level error) falls back to the
+// per-VC resync path transparently, so enabling the window never changes
+// results — only datagram count and latency. Zero or negative d leaves
+// batching off (the default).
+func WithBatchWindow(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.batchWindow = d
+		}
+	}
+}
+
 // WithClientMetrics publishes the client's signaling counters (datagrams
 // sent/received, retries, timeouts, RM cells) and round-trip histogram into
 // reg.
@@ -109,14 +150,17 @@ func WithClientMetrics(reg *metrics.Registry) ClientOption {
 			return
 		}
 		c.ins = clientInstruments{
-			requests: reg.Counter(MetricClientRequests),
-			sent:     reg.Counter(MetricClientSent),
-			recv:     reg.Counter(MetricClientRecv),
-			retries:  reg.Counter(MetricClientRetries),
-			timeouts: reg.Counter(MetricClientTimeouts),
-			rmSent:   reg.Counter(MetricClientRMSent),
-			rmRecv:   reg.Counter(MetricClientRMRecv),
-			rtt:      reg.Histogram(MetricClientRTT, metrics.DefBuckets),
+			requests:       reg.Counter(MetricClientRequests),
+			sent:           reg.Counter(MetricClientSent),
+			recv:           reg.Counter(MetricClientRecv),
+			retries:        reg.Counter(MetricClientRetries),
+			timeouts:       reg.Counter(MetricClientTimeouts),
+			rmSent:         reg.Counter(MetricClientRMSent),
+			rmRecv:         reg.Counter(MetricClientRMRecv),
+			rtt:            reg.Histogram(MetricClientRTT, metrics.DefBuckets),
+			batches:        reg.Counter(MetricClientBatches),
+			batchCells:     reg.Counter(MetricClientBatchCells),
+			batchFallbacks: reg.Counter(MetricClientBatchFallbacks),
 		}
 	}
 }
@@ -313,7 +357,9 @@ func (c *Client) newID() uint32 {
 // Setup establishes a VC on the switch.
 func (c *Client) Setup(ctx context.Context, vci uint16, port int, rate float64) error {
 	id := c.newID()
-	pkt := EncodeSetup(id, SetupReq{VCI: vci, Port: uint16(port), Rate: rate})
+	bufp := pktPool.Get().(*[]byte)
+	defer pktPool.Put(bufp)
+	pkt := AppendSetup((*bufp)[:0], id, SetupReq{VCI: vci, Port: uint16(port), Rate: rate})
 	f, err := c.roundTrip(ctx, id, false, func(int) ([]byte, error) { return pkt, nil })
 	if err != nil {
 		return err
@@ -331,7 +377,9 @@ func (c *Client) Setup(ctx context.Context, vci uint16, port int, rate float64) 
 // Teardown releases a VC.
 func (c *Client) Teardown(ctx context.Context, vci uint16) error {
 	id := c.newID()
-	pkt := EncodeTeardown(id, vci)
+	bufp := pktPool.Get().(*[]byte)
+	defer pktPool.Put(bufp)
+	pkt := AppendTeardown((*bufp)[:0], id, vci)
 	f, err := c.roundTrip(ctx, id, false, func(int) ([]byte, error) { return pkt, nil })
 	if err != nil {
 		return err
@@ -353,22 +401,19 @@ func (c *Client) Teardown(ctx context.Context, vci uint16) error {
 // a delayed delta arriving after its resync retry. It returns the rate now
 // in force and whether the request was granted in full.
 func (c *Client) Renegotiate(ctx context.Context, vci uint16, current, target float64) (granted float64, ok bool, err error) {
+	if c.batchWindow > 0 {
+		return c.renegotiateBatched(ctx, vci, target, deltaRM(current, target, c.nextSeq.Add(1)))
+	}
 	id := c.newID()
 	h := cell.Header{VCI: vci}
+	bufp := pktPool.Get().(*[]byte)
+	defer pktPool.Put(bufp)
 	f, err := c.roundTrip(ctx, id, true, func(attempt int) ([]byte, error) {
 		seq := c.nextSeq.Add(1)
 		if attempt == 0 {
-			delta := target - current
-			m := cell.RM{Seq: seq}
-			if delta < 0 {
-				m.Decrease = true
-				m.ER = -delta
-			} else {
-				m.ER = delta
-			}
-			return EncodeRM(id, h, m)
+			return AppendRM((*bufp)[:0], id, h, deltaRM(current, target, seq))
 		}
-		return EncodeRM(id, h, cell.RM{Resync: true, ER: target, Seq: seq})
+		return AppendRM((*bufp)[:0], id, h, cell.RM{Resync: true, ER: target, Seq: seq})
 	})
 	if err != nil {
 		return 0, false, err
@@ -376,12 +421,28 @@ func (c *Client) Renegotiate(ctx context.Context, vci uint16, current, target fl
 	return c.parseRMReply(f)
 }
 
+// deltaRM builds the sequenced delta RM message requesting a move from
+// current to target.
+func deltaRM(current, target float64, seq uint32) cell.RM {
+	delta := target - current
+	m := cell.RM{Seq: seq}
+	if delta < 0 {
+		m.Decrease = true
+		m.ER = -delta
+	} else {
+		m.ER = delta
+	}
+	return m
+}
+
 // Resync asserts the VC's absolute rate (periodic drift repair).
 func (c *Client) Resync(ctx context.Context, vci uint16, rate float64) (granted float64, ok bool, err error) {
 	id := c.newID()
 	h := cell.Header{VCI: vci}
+	bufp := pktPool.Get().(*[]byte)
+	defer pktPool.Put(bufp)
 	f, err := c.roundTrip(ctx, id, true, func(int) ([]byte, error) {
-		return EncodeRM(id, h, cell.RM{Resync: true, ER: rate, Seq: c.nextSeq.Add(1)})
+		return AppendRM((*bufp)[:0], id, h, cell.RM{Resync: true, ER: rate, Seq: c.nextSeq.Add(1)})
 	})
 	if err != nil {
 		return 0, false, err

@@ -15,6 +15,10 @@ func FuzzServerHandle(f *testing.F) {
 	f.Add(EncodeTeardown(2, 1))
 	f.Add(EncodeErr(3, ErrCodeGeneric, "x"))
 	f.Add([]byte{Magic, Version, 99, 0, 0, 0, 0})
+	if batch, err := AppendRMBatch(nil, 4, []switchfab.RMItem{{VCI: 1}}); err == nil {
+		f.Add(batch)
+	}
+	f.Add([]byte{Magic, VersionBatch, TypeRMBatch, 0, 0, 0, 5, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sw := switchfab.New(nil)
 		if err := sw.AddPort(1, 1e6); err != nil {
@@ -24,7 +28,7 @@ func FuzzServerHandle(f *testing.F) {
 			t.Fatal(err)
 		}
 		s := &Server{sw: sw}
-		reply := s.handle(data)
+		reply := s.handle(data, newScratch())
 		if reply == nil {
 			return
 		}

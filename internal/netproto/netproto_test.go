@@ -20,13 +20,17 @@ func TestFrameRoundTrip(t *testing.T) {
 		if len(payload) > maxFrame-headerLen {
 			payload = payload[:maxFrame-headerLen]
 		}
-		b := appendHeader(nil, typ, reqID)
+		ver := uint8(Version)
+		if typ == TypeRMBatch || typ == TypeRMBatchReply {
+			ver = VersionBatch // batch types are only legal at version 3
+		}
+		b := appendHeader(nil, ver, typ, reqID)
 		b = append(b, payload...)
 		got, err := ParseFrame(b)
 		if err != nil {
 			return false
 		}
-		if got.Type != typ || got.ReqID != reqID || len(got.Payload) != len(payload) {
+		if got.Version != ver || got.Type != typ || got.ReqID != reqID || len(got.Payload) != len(payload) {
 			return false
 		}
 		for i := range payload {

@@ -4,7 +4,7 @@
 // switchfab). The framing is a single datagram per message:
 //
 //	byte  0    magic 0xC5
-//	byte  1    version 1
+//	byte  1    version
 //	byte  2    message type
 //	bytes 3-6  request id (echoed in replies), big-endian
 //	bytes 7-   type-specific payload
@@ -17,7 +17,17 @@
 // Error replies (TypeErr) carry a one-byte error code ahead of the message
 // text, mapping the switch's sentinel errors onto the wire so clients can
 // match them with errors.Is; version 2 of the framing introduced the code
-// byte.
+// byte. Version 3 introduced batched RM frames (TypeRMBatch/TypeRMBatchReply)
+// coalescing up to MaxRMBatch renegotiations into one datagram; every other
+// message type still travels at version 2, so the version byte itself is the
+// negotiation: a v2-only peer rejects batch frames as an unsupported version
+// and the client's per-VC fallback path takes over.
+//
+// Allocation discipline: every Encode* function has an Append* core that
+// writes into a caller-provided buffer, so the steady-state renegotiation
+// path (client request encode, server reply encode, both decodes) runs
+// without heap allocation; the Encode* forms remain as allocating
+// conveniences.
 package netproto
 
 import (
@@ -32,8 +42,11 @@ import (
 
 // Wire constants.
 const (
-	Magic   = 0xC5
+	Magic = 0xC5
+	// Version is the framing version of all non-batch messages.
 	Version = 2
+	// VersionBatch is the framing version carrying batched RM messages.
+	VersionBatch = 3
 
 	headerLen = 7
 	maxFrame  = 512
@@ -48,7 +61,20 @@ const (
 	TypeTeardownOK
 	TypeRM
 	TypeRMReply
+	// TypeRMBatch / TypeRMBatchReply (version 3) carry up to MaxRMBatch
+	// coalesced RM messages for distinct VCs.
+	TypeRMBatch
+	TypeRMBatchReply
 )
+
+// MaxRMBatch is the most RM messages one batch frame can carry. At 10 bytes
+// per entry a full batch is a 328-byte datagram, comfortably inside
+// maxFrame and any sane path MTU.
+const MaxRMBatch = 32
+
+// rmEntryLen is the wire size of one batch entry:
+// VPI(1) + VCI(2) + flags(1) + ER16(2) + Seq(4).
+const rmEntryLen = 10
 
 // Errors returned by the codec.
 var (
@@ -58,20 +84,22 @@ var (
 
 // Frame is a decoded signaling datagram.
 type Frame struct {
+	Version uint8
 	Type    uint8
 	ReqID   uint32
 	Payload []byte
 }
 
-// appendHeader writes the common frame header.
-func appendHeader(b []byte, typ uint8, reqID uint32) []byte {
-	b = append(b, Magic, Version, typ)
+// appendHeader writes the common frame header at the given version.
+func appendHeader(b []byte, version, typ uint8, reqID uint32) []byte {
+	b = append(b, Magic, version, typ)
 	var id [4]byte
 	binary.BigEndian.PutUint32(id[:], reqID)
 	return append(b, id[:]...)
 }
 
-// ParseFrame decodes a datagram's framing.
+// ParseFrame decodes a datagram's framing. Versions 2 and 3 are accepted;
+// batch message types require version 3.
 func ParseFrame(b []byte) (Frame, error) {
 	if len(b) < headerLen {
 		return Frame{}, ErrFrame
@@ -79,10 +107,14 @@ func ParseFrame(b []byte) (Frame, error) {
 	if b[0] != Magic {
 		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrFrame, b[0])
 	}
-	if b[1] != Version {
+	if b[1] != Version && b[1] != VersionBatch {
 		return Frame{}, fmt.Errorf("%w: %d", ErrVersion, b[1])
 	}
+	if (b[2] == TypeRMBatch || b[2] == TypeRMBatchReply) && b[1] != VersionBatch {
+		return Frame{}, fmt.Errorf("%w: batch frame at version %d", ErrVersion, b[1])
+	}
 	return Frame{
+		Version: b[1],
 		Type:    b[2],
 		ReqID:   binary.BigEndian.Uint32(b[3:7]),
 		Payload: b[headerLen:],
@@ -96,14 +128,20 @@ type SetupReq struct {
 	Rate float64 // bits/second
 }
 
-// EncodeSetup builds a setup request datagram.
-func EncodeSetup(reqID uint32, req SetupReq) []byte {
-	b := appendHeader(make([]byte, 0, headerLen+12), TypeSetup, reqID)
+// AppendSetup appends a setup request datagram to dst and returns the
+// extended buffer.
+func AppendSetup(dst []byte, reqID uint32, req SetupReq) []byte {
+	dst = appendHeader(dst, Version, TypeSetup, reqID)
 	var p [12]byte
 	binary.BigEndian.PutUint16(p[0:2], req.VCI)
 	binary.BigEndian.PutUint16(p[2:4], req.Port)
 	binary.BigEndian.PutUint64(p[4:12], math.Float64bits(req.Rate))
-	return append(b, p[:]...)
+	return append(dst, p[:]...)
+}
+
+// EncodeSetup builds a setup request datagram.
+func EncodeSetup(reqID uint32, req SetupReq) []byte {
+	return AppendSetup(make([]byte, 0, headerLen+12), reqID, req)
 }
 
 // DecodeSetup parses a setup payload.
@@ -118,12 +156,17 @@ func DecodeSetup(p []byte) (SetupReq, error) {
 	}, nil
 }
 
-// EncodeTeardown builds a teardown request for a VCI.
-func EncodeTeardown(reqID uint32, vci uint16) []byte {
-	b := appendHeader(make([]byte, 0, headerLen+2), TypeTeardown, reqID)
+// AppendTeardown appends a teardown request for a VCI to dst.
+func AppendTeardown(dst []byte, reqID uint32, vci uint16) []byte {
+	dst = appendHeader(dst, Version, TypeTeardown, reqID)
 	var p [2]byte
 	binary.BigEndian.PutUint16(p[:], vci)
-	return append(b, p[:]...)
+	return append(dst, p[:]...)
+}
+
+// EncodeTeardown builds a teardown request for a VCI.
+func EncodeTeardown(reqID uint32, vci uint16) []byte {
+	return AppendTeardown(make([]byte, 0, headerLen+2), reqID, vci)
 }
 
 // DecodeTeardown parses a teardown payload.
@@ -134,10 +177,16 @@ func DecodeTeardown(p []byte) (uint16, error) {
 	return binary.BigEndian.Uint16(p[0:2]), nil
 }
 
+// AppendOK appends a success reply of the given type (TypeSetupOK or
+// TypeTeardownOK) to dst.
+func AppendOK(dst []byte, typ uint8, reqID uint32) []byte {
+	return appendHeader(dst, Version, typ, reqID)
+}
+
 // EncodeOK builds a success reply of the given type (TypeSetupOK or
 // TypeTeardownOK).
 func EncodeOK(typ uint8, reqID uint32) []byte {
-	return appendHeader(make([]byte, 0, headerLen), typ, reqID)
+	return AppendOK(make([]byte, 0, headerLen), typ, reqID)
 }
 
 // Error codes carried in the first byte of an Err payload. They mirror the
@@ -185,15 +234,21 @@ func errCode(err error) uint8 {
 // ErrCodeGeneric and unknown codes.
 func codeSentinel(code uint8) error { return wireSentinels[code] }
 
-// EncodeErr builds an error reply carrying an error code and a message
-// string.
-func EncodeErr(reqID uint32, code uint8, msg string) []byte {
+// AppendErr appends an error reply carrying an error code and a message
+// string to dst.
+func AppendErr(dst []byte, reqID uint32, code uint8, msg string) []byte {
 	if len(msg) > maxFrame-headerLen-1 {
 		msg = msg[:maxFrame-headerLen-1]
 	}
-	b := appendHeader(make([]byte, 0, headerLen+1+len(msg)), TypeErr, reqID)
-	b = append(b, code)
-	return append(b, msg...)
+	dst = appendHeader(dst, Version, TypeErr, reqID)
+	dst = append(dst, code)
+	return append(dst, msg...)
+}
+
+// EncodeErr builds an error reply carrying an error code and a message
+// string.
+func EncodeErr(reqID uint32, code uint8, msg string) []byte {
+	return AppendErr(make([]byte, 0, headerLen+1+len(msg)), reqID, code, msg)
 }
 
 // DecodeErr splits an Err payload into its code and message. An empty
@@ -205,24 +260,35 @@ func DecodeErr(p []byte) (code uint8, msg string) {
 	return p[0], string(p[1:])
 }
 
-// EncodeRM builds a renegotiation datagram wrapping a full RM cell.
-func EncodeRM(reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
+// appendRMCell appends a framed RM cell of the given type to dst.
+func appendRMCell(dst []byte, typ uint8, reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
 	raw, err := cell.Build(h, m)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	b := appendHeader(make([]byte, 0, headerLen+cell.Size), TypeRM, reqID)
-	return append(b, raw[:]...), nil
+	dst = appendHeader(dst, Version, typ, reqID)
+	return append(dst, raw[:]...), nil
+}
+
+// AppendRM appends a renegotiation datagram wrapping a full RM cell to dst.
+func AppendRM(dst []byte, reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
+	return appendRMCell(dst, TypeRM, reqID, h, m)
+}
+
+// EncodeRM builds a renegotiation datagram wrapping a full RM cell.
+func EncodeRM(reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
+	return AppendRM(make([]byte, 0, headerLen+cell.Size), reqID, h, m)
+}
+
+// AppendRMReply appends a reply datagram wrapping the backward RM cell to
+// dst.
+func AppendRMReply(dst []byte, reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
+	return appendRMCell(dst, TypeRMReply, reqID, h, m)
 }
 
 // EncodeRMReply builds a reply datagram wrapping the backward RM cell.
 func EncodeRMReply(reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
-	raw, err := cell.Build(h, m)
-	if err != nil {
-		return nil, err
-	}
-	b := appendHeader(make([]byte, 0, headerLen+cell.Size), TypeRMReply, reqID)
-	return append(b, raw[:]...), nil
+	return AppendRMReply(make([]byte, 0, headerLen+cell.Size), reqID, h, m)
 }
 
 // DecodeRM parses an RM payload back into header and message.
@@ -231,4 +297,105 @@ func DecodeRM(p []byte) (cell.Header, cell.RM, error) {
 		return cell.Header{}, cell.RM{}, ErrFrame
 	}
 	return cell.Parse(p[:cell.Size])
+}
+
+// Batch entry flag bits, mirroring the RM-cell flag byte (cell/rm.go).
+const (
+	batchFlagBackward = 1 << iota
+	batchFlagResponse
+	batchFlagResync
+	batchFlagDeny
+	batchFlagDecrease
+)
+
+// appendRMBatch appends a batch frame of the given type. The payload is a
+// count byte followed by count fixed-size entries; rates travel in the same
+// TM 4.0 16-bit encoding as RM cells, so a batched renegotiation quantizes
+// exactly like a singleton one.
+func appendRMBatch(dst []byte, typ uint8, reqID uint32, items []switchfab.RMItem) ([]byte, error) {
+	if len(items) == 0 || len(items) > MaxRMBatch {
+		return dst, fmt.Errorf("%w: batch of %d items", ErrFrame, len(items))
+	}
+	dst = appendHeader(dst, VersionBatch, typ, reqID)
+	dst = append(dst, uint8(len(items)))
+	for _, it := range items {
+		var flags uint8
+		if it.M.Backward {
+			flags |= batchFlagBackward
+		}
+		if it.M.Response {
+			flags |= batchFlagResponse
+		}
+		if it.M.Resync {
+			flags |= batchFlagResync
+		}
+		if it.M.Deny {
+			flags |= batchFlagDeny
+		}
+		if it.M.Decrease {
+			flags |= batchFlagDecrease
+		}
+		er, err := cell.EncodeRate16(it.M.ER)
+		if err != nil {
+			return dst, err
+		}
+		var e [rmEntryLen]byte
+		e[0] = it.VPI
+		binary.BigEndian.PutUint16(e[1:3], it.VCI)
+		e[3] = flags
+		binary.BigEndian.PutUint16(e[4:6], er)
+		binary.BigEndian.PutUint32(e[6:10], it.M.Seq)
+		dst = append(dst, e[:]...)
+	}
+	return dst, nil
+}
+
+// AppendRMBatch appends a version-3 batch request frame coalescing the
+// items' RM messages to dst.
+func AppendRMBatch(dst []byte, reqID uint32, items []switchfab.RMItem) ([]byte, error) {
+	return appendRMBatch(dst, TypeRMBatch, reqID, items)
+}
+
+// AppendRMBatchReply appends a version-3 batch reply frame to dst.
+func AppendRMBatchReply(dst []byte, reqID uint32, items []switchfab.RMItem) ([]byte, error) {
+	return appendRMBatch(dst, TypeRMBatchReply, reqID, items)
+}
+
+// DecodeRMBatch parses a batch payload (request or reply), appending the
+// entries to items — pass a reused slice's [:0] for an allocation-free
+// steady state. The codec is strict: undefined flag bits and trailing bytes
+// are rejected, so every accepted payload re-encodes to identical wire
+// bytes.
+func DecodeRMBatch(p []byte, items []switchfab.RMItem) ([]switchfab.RMItem, error) {
+	if len(p) < 1 {
+		return items, ErrFrame
+	}
+	n := int(p[0])
+	if n == 0 || n > MaxRMBatch {
+		return items, fmt.Errorf("%w: batch of %d items", ErrFrame, n)
+	}
+	if len(p) != 1+n*rmEntryLen {
+		return items, fmt.Errorf("%w: batch payload length %d", ErrFrame, len(p))
+	}
+	for i := 0; i < n; i++ {
+		e := p[1+i*rmEntryLen:]
+		flags := e[3]
+		if flags&^(batchFlagBackward|batchFlagResponse|batchFlagResync|batchFlagDeny|batchFlagDecrease) != 0 {
+			return items, fmt.Errorf("%w: undefined batch flag bits %#x", ErrFrame, flags)
+		}
+		items = append(items, switchfab.RMItem{
+			VPI: e[0],
+			VCI: binary.BigEndian.Uint16(e[1:3]),
+			M: cell.RM{
+				Backward: flags&batchFlagBackward != 0,
+				Response: flags&batchFlagResponse != 0,
+				Resync:   flags&batchFlagResync != 0,
+				Deny:     flags&batchFlagDeny != 0,
+				Decrease: flags&batchFlagDecrease != 0,
+				ER:       cell.DecodeRate16(binary.BigEndian.Uint16(e[4:6])),
+				Seq:      binary.BigEndian.Uint32(e[6:10]),
+			},
+		})
+	}
+	return items, nil
 }

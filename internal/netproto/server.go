@@ -22,6 +22,10 @@ const (
 	MetricServerErrors     = "signal.server.error_replies"
 	MetricServerDropped    = "signal.server.dropped_datagrams"
 	MetricServerReadErrors = "signal.server.read_errors"
+	// Batch frames (framing v3) are counted separately: whole batches and
+	// the RM messages they carried.
+	MetricServerBatches    = "signal.batch.server_batches"
+	MetricServerBatchCells = "signal.batch.server_cells"
 )
 
 // Worker-pool defaults and the read-error backoff bounds.
@@ -45,6 +49,8 @@ type serverInstruments struct {
 	errors     *metrics.Counter
 	dropped    *metrics.Counter
 	readErrors *metrics.Counter
+	batches    *metrics.Counter
+	batchCells *metrics.Counter
 }
 
 // Server serves RCBR signaling over UDP for one switch.
@@ -118,6 +124,8 @@ func WithServerMetrics(reg *metrics.Registry) ServerOption {
 			errors:     reg.Counter(MetricServerErrors),
 			dropped:    reg.Counter(MetricServerDropped),
 			readErrors: reg.Counter(MetricServerReadErrors),
+			batches:    reg.Counter(MetricServerBatches),
+			batchCells: reg.Counter(MetricServerBatchCells),
 		}
 	}
 }
@@ -161,6 +169,25 @@ type job struct {
 	from net.Addr
 }
 
+// scratch is one worker's reusable working memory: the reply frame under
+// construction and the decoded/processed batch slices. Each worker owns one
+// scratch and finishes writing a reply before handling the next datagram,
+// so the steady-state request path (decode, switch call, reply encode)
+// allocates nothing.
+type scratch struct {
+	reply []byte
+	items []switchfab.RMItem
+	out   []switchfab.RMItem
+}
+
+func newScratch() *scratch {
+	return &scratch{
+		reply: make([]byte, 0, maxFrame),
+		items: make([]switchfab.RMItem, 0, MaxRMBatch),
+		out:   make([]switchfab.RMItem, 0, MaxRMBatch),
+	}
+}
+
 // Serve processes datagrams until Close. It always returns a non-nil error;
 // after Close the error wraps net.ErrClosed. Transient read errors do not
 // stop the server (they are counted, logged, and paced by a short backoff).
@@ -175,8 +202,9 @@ func (s *Server) Serve() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := newScratch()
 			for j := range jobs {
-				reply := s.handle(j.data)
+				reply := s.handle(j.data, sc)
 				pool.Put(j.buf)
 				if reply == nil {
 					continue
@@ -242,16 +270,19 @@ func (s *Server) Serve() error {
 	}
 }
 
-// errReply builds an error reply carrying err's wire code, counting it.
-func (s *Server) errReply(reqID uint32, err error) []byte {
+// errReply builds an error reply carrying err's wire code into the worker's
+// scratch buffer, counting it.
+func (s *Server) errReply(sc *scratch, reqID uint32, err error) []byte {
 	s.ins.errors.Inc()
-	return EncodeErr(reqID, errCode(err), err.Error())
+	return AppendErr(sc.reply[:0], reqID, errCode(err), err.Error())
 }
 
 // handle processes one datagram and returns the reply (nil to stay silent,
 // e.g. for garbage that cannot even be attributed to a request). It is
 // called concurrently by the worker pool; the switch provides the locking.
-func (s *Server) handle(b []byte) []byte {
+// The reply is built in sc and aliases its buffers — the caller must finish
+// with it before handling another datagram with the same scratch.
+func (s *Server) handle(b []byte, sc *scratch) []byte {
 	f, err := ParseFrame(b)
 	if err != nil {
 		s.ins.badFrames.Inc()
@@ -265,54 +296,76 @@ func (s *Server) handle(b []byte) []byte {
 		s.ins.setups.Inc()
 		req, err := DecodeSetup(f.Payload)
 		if err != nil {
-			return s.errReply(f.ReqID, err)
+			return s.errReply(sc, f.ReqID, err)
 		}
 		if err := s.sw.Setup(req.VCI, int(req.Port), req.Rate); err != nil {
 			// Duplicate setup of the same VCI at the same rate is treated
 			// as a retransmission and acknowledged idempotently.
 			if errors.Is(err, switchfab.ErrVCExists) {
 				if r, rerr := s.sw.VCRate(req.VCI); rerr == nil && r == req.Rate {
-					return EncodeOK(TypeSetupOK, f.ReqID)
+					return AppendOK(sc.reply[:0], TypeSetupOK, f.ReqID)
 				}
 			}
-			return s.errReply(f.ReqID, err)
+			return s.errReply(sc, f.ReqID, err)
 		}
-		return EncodeOK(TypeSetupOK, f.ReqID)
+		return AppendOK(sc.reply[:0], TypeSetupOK, f.ReqID)
 
 	case TypeTeardown:
 		s.ins.teardowns.Inc()
 		vci, err := DecodeTeardown(f.Payload)
 		if err != nil {
-			return s.errReply(f.ReqID, err)
+			return s.errReply(sc, f.ReqID, err)
 		}
 		if err := s.sw.Teardown(vci); err != nil {
 			// A retransmitted teardown finds no VC; acknowledge it.
 			if errors.Is(err, switchfab.ErrNoVC) {
-				return EncodeOK(TypeTeardownOK, f.ReqID)
+				return AppendOK(sc.reply[:0], TypeTeardownOK, f.ReqID)
 			}
-			return s.errReply(f.ReqID, err)
+			return s.errReply(sc, f.ReqID, err)
 		}
-		return EncodeOK(TypeTeardownOK, f.ReqID)
+		return AppendOK(sc.reply[:0], TypeTeardownOK, f.ReqID)
 
 	case TypeRM:
 		s.ins.rm.Inc()
 		h, m, err := DecodeRM(f.Payload)
 		if err != nil {
-			return s.errReply(f.ReqID, err)
+			return s.errReply(sc, f.ReqID, err)
 		}
 		resp, err := s.sw.HandleRM(h, m)
 		if err != nil {
-			return s.errReply(f.ReqID, err)
+			return s.errReply(sc, f.ReqID, err)
 		}
-		reply, err := EncodeRMReply(f.ReqID, h, resp)
+		reply, err := AppendRMReply(sc.reply[:0], f.ReqID, h, resp)
 		if err != nil {
-			return s.errReply(f.ReqID, err)
+			return s.errReply(sc, f.ReqID, err)
+		}
+		return reply
+
+	case TypeRMBatch:
+		s.ins.batches.Inc()
+		items, err := DecodeRMBatch(f.Payload, sc.items[:0])
+		sc.items = items[:0]
+		if err != nil {
+			return s.errReply(sc, f.ReqID, err)
+		}
+		s.ins.batchCells.Add(int64(len(items)))
+		out := s.sw.HandleRMBatch(items, sc.out[:0])
+		sc.out = out[:0]
+		if len(out) == 0 {
+			// Nothing in the batch resolved to an established VC; an empty
+			// batch is not encodable, so answer with the sentinel and let
+			// the client's per-VC fallback obtain precise errors.
+			return s.errReply(sc, f.ReqID, switchfab.ErrNoVC)
+		}
+		reply, err := AppendRMBatchReply(sc.reply[:0], f.ReqID, out)
+		if err != nil {
+			return s.errReply(sc, f.ReqID, err)
 		}
 		return reply
 
 	default:
 		s.ins.badFrames.Inc()
-		return s.errReply(f.ReqID, ErrFrame)
+		return s.errReply(sc, f.ReqID, ErrFrame)
 	}
 }
 

@@ -1,0 +1,180 @@
+package switchfab
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rcbr/internal/cell"
+)
+
+// benchPorts spreads benchmark VCs over enough output ports that port-mutex
+// contention does not mask the shard-lock behavior under measurement.
+const benchPorts = 64
+
+// benchID maps a dense VC index onto the (VPI, VCI) space: indexes past
+// 65535 spill onto higher VPIs, which is how the fabric addresses more than
+// 64k circuits.
+func benchID(i int) VCID {
+	return MakeVCID(uint8(i>>16), uint16(i))
+}
+
+// newBenchSwitch builds a fabric with vcs established circuits striped over
+// benchPorts ports. shards <= 0 means the default shard count.
+func newBenchSwitch(tb testing.TB, shards, vcs int) *Switch {
+	tb.Helper()
+	var opts []Option
+	if shards > 0 {
+		opts = append(opts, WithShards(shards))
+	}
+	s := New(opts...)
+	for p := 0; p < benchPorts; p++ {
+		if err := s.AddPort(p, 1e12); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i := 0; i < vcs; i++ {
+		if err := s.SetupID(benchID(i), i%benchPorts, 100e3); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkSwitchHandleRM measures parallel renegotiation throughput as the
+// established-VC population grows, sharded (default) vs. legacy (one shard =
+// the pre-sharding single global lock). Requests are idempotent resyncs so
+// the working rates never drift; each worker walks its own VC stride.
+func BenchmarkSwitchHandleRM(b *testing.B) {
+	for _, vcs := range []int{1, 16384, 65536, 100000} {
+		for _, cfg := range []struct {
+			name   string
+			shards int
+		}{
+			{"sharded", 0},
+			{"legacy", 1},
+		} {
+			b.Run(fmt.Sprintf("vcs=%d/%s", vcs, cfg.name), func(b *testing.B) {
+				s := newBenchSwitch(b, cfg.shards, vcs)
+				m := cell.RM{Resync: true, ER: 100e3}
+				var next atomic.Uint64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := int(next.Add(1)) % vcs
+						id := benchID(i)
+						h := cell.Header{VPI: id.VPI(), VCI: id.VCI()}
+						if _, err := s.HandleRM(h, m); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkRMBatch compares a full HandleRMBatch against the same work done
+// as singleton HandleRM calls; ns/op is per RM message in both cases.
+func BenchmarkRMBatch(b *testing.B) {
+	const vcs = 16384
+	for _, k := range []int{8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", k), func(b *testing.B) {
+			s := newBenchSwitch(b, 0, vcs)
+			items := make([]RMItem, k)
+			for i := range items {
+				id := benchID(i * 37 % vcs)
+				items[i] = RMItem{VPI: id.VPI(), VCI: id.VCI(), M: cell.RM{Resync: true, ER: 100e3}}
+			}
+			out := make([]RMItem, 0, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += k {
+				out = s.HandleRMBatch(items, out[:0])
+				if len(out) != k {
+					b.Fatalf("%d replies, want %d", len(out), k)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("singleton=%d", k), func(b *testing.B) {
+			s := newBenchSwitch(b, 0, vcs)
+			m := cell.RM{Resync: true, ER: 100e3}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := benchID(i % k * 37 % vcs)
+				h := cell.Header{VPI: id.VPI(), VCI: id.VCI()}
+				if _, err := s.HandleRM(h, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFabricChurn is the race-detector shim behind the fabric
+// benchmarks (make race-parallel): setups, teardowns, singleton RM cells,
+// batches, and table listings all running against each other across shards.
+func TestParallelFabricChurn(t *testing.T) {
+	const (
+		workers = 8
+		vcs     = 512
+		rounds  = 200
+	)
+	s := newBenchSwitch(t, 8, vcs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			switch w % 4 {
+			case 0: // singleton renegotiations
+				m := cell.RM{Resync: true, ER: 200e3}
+				for i := 0; i < rounds*8; i++ {
+					id := benchID((i*7 + w) % vcs)
+					h := cell.Header{VPI: id.VPI(), VCI: id.VCI()}
+					if _, err := s.HandleRM(h, m); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			case 1: // batches across shards
+				items := make([]RMItem, 16)
+				out := make([]RMItem, 0, 16)
+				for i := 0; i < rounds; i++ {
+					for j := range items {
+						id := benchID((i*16 + j*3 + w) % vcs)
+						items[j] = RMItem{VPI: id.VPI(), VCI: id.VCI(), M: cell.RM{Resync: true, ER: 150e3}}
+					}
+					out = s.HandleRMBatch(items, out[:0])
+				}
+			case 2: // churn a private VC range up and down
+				base := 1 << 20 * (w/4 + 1) // VPIs far above the shared set
+				for i := 0; i < rounds; i++ {
+					id := benchID(base + i%32)
+					if err := s.SetupID(id, i%benchPorts, 64e3); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := s.TeardownID(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			case 3: // observers
+				for i := 0; i < rounds/4; i++ {
+					_ = s.VCs()
+					_ = s.VCCount()
+					_ = s.Stats()
+					if _, _, err := s.PortLoad(i % benchPorts); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.VCCount(); got != vcs {
+		t.Errorf("VC count %d after churn, want %d", got, vcs)
+	}
+}

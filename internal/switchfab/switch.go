@@ -13,14 +13,26 @@
 // mirroring the paper's split between heavyweight setup and lightweight
 // renegotiation.
 //
-// Concurrency: the switch uses two lock levels so renegotiations on
-// different output ports never contend. The VC table is guarded by an
-// RWMutex taken shared on the renegotiation hot path and exclusively only by
-// setup/teardown; each port has its own mutex guarding its reservation and
-// the rates (and RM sequence state) of the VCs homed on it. Lock order is
-// always VC table before port. Activity counters are atomics, so the shared
-// table lock is the only point of contact between renegotiations — and it is
-// reader-shared there.
+// Concurrency: the VC table is sharded. Each of the N (power-of-two) shards
+// owns an RWMutex and its slice of the VC map, selected by the low bits of
+// the VC identifier, so renegotiations on different VCs contend only when
+// they land in the same shard — and even then only on a reader-shared lock.
+// Each port has its own mutex guarding its reservation and the rate (and RM
+// sequence state) of the VCs homed on it. A renegotiation therefore touches
+// exactly one shard lock (shared) and one port mutex. Lock order is always
+// shard before port, and never two shard locks at once (HandleRMBatch
+// applies its shard groups strictly sequentially). Setup and teardown take
+// the owning shard exclusively — which is what keeps teardown from freeing a
+// VC out from under an in-flight RM cell — and setups are additionally
+// serialized by a setup mutex so stateful Admitter implementations never run
+// concurrently. Activity counters are atomics.
+//
+// VC identifiers: the paper's switch is an ATM switch, so a VC is named by
+// the cell header's (VPI, VCI) pair — 24 bits, far past the 65,536 circuits
+// a bare 16-bit VCI allows. The uint16 convenience methods (Setup,
+// Teardown, Renegotiate, VCRate) address VPI 0; the *ID variants take a full
+// VCID. HandleRM always honors the header's VPI, so cell-driven signaling
+// reaches the whole space.
 //
 // RM-cell sequence numbers: delta cells are not idempotent, so the switch
 // tracks the last-seen sequence number per VC and drops a sequenced delta
@@ -32,14 +44,15 @@
 // unsequenced (legacy) cell and bypasses the check.
 //
 // Construction uses functional options (WithAdmitter, WithMetrics,
-// WithEventTrace); observability is opt-in and free when absent, because
-// every instrument is nil-safe and cached at construction time — the
+// WithEventTrace, WithShards); observability is opt-in and free when absent,
+// because every instrument is nil-safe and cached at construction time — the
 // renegotiation hot path never looks anything up by name.
 package switchfab
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -60,9 +73,33 @@ var (
 	ErrInvalidRate = errors.New("switchfab: invalid rate")
 )
 
+// VCID names a virtual channel by its ATM (VPI, VCI) pair packed into 24
+// bits: VPI in bits 16-23, VCI in bits 0-15. The zero-VPI subspace is what
+// the uint16 convenience methods address.
+type VCID uint32
+
+// MakeVCID packs a (VPI, VCI) pair.
+func MakeVCID(vpi uint8, vci uint16) VCID {
+	return VCID(vpi)<<16 | VCID(vci)
+}
+
+// VPI returns the virtual-path half of the identifier.
+func (id VCID) VPI() uint8 { return uint8(id >> 16) }
+
+// VCI returns the virtual-channel half of the identifier.
+func (id VCID) VCI() uint16 { return uint16(id) }
+
+// String renders "vpi.vci" (or just the VCI for VPI 0, the common case).
+func (id VCID) String() string {
+	if id.VPI() == 0 {
+		return fmt.Sprintf("%d", id.VCI())
+	}
+	return fmt.Sprintf("%d.%d", id.VPI(), id.VCI())
+}
+
 // Admitter is the call-admission hook consulted at setup time (never during
 // renegotiation). Implementations may be stateful; the switch serializes
-// calls under its exclusive setup lock.
+// calls under its setup mutex.
 type Admitter interface {
 	// AdmitCall reports whether a new call asking for rate bits/second may
 	// enter a port with the given reserved and capacity figures.
@@ -88,6 +125,10 @@ type Stats struct {
 	// DupDrops counts sequenced delta RM cells dropped as delayed
 	// duplicates (see HandleRM).
 	DupDrops int64
+	// Batches counts HandleRMBatch calls; BatchCells the RM messages they
+	// carried.
+	Batches    int64
+	BatchCells int64
 }
 
 // statCounters is the live (atomic) form of Stats, safe to bump from
@@ -100,6 +141,8 @@ type statCounters struct {
 	denials        atomic.Int64
 	resyncs        atomic.Int64
 	dupDrops       atomic.Int64
+	batches        atomic.Int64
+	batchCells     atomic.Int64
 }
 
 type port struct {
@@ -117,11 +160,24 @@ type port struct {
 }
 
 type vcState struct {
-	port int
+	// p is the VC's output port, fixed at setup — cached here so the
+	// renegotiation hot path never consults the port table.
+	p *port
 	// rate, lastSeq, and seqSeen are guarded by the owning port's mutex.
 	rate    float64
 	lastSeq uint32
 	seqSeen bool
+}
+
+// shard is one slice of the VC table: its own lock, its own map. The
+// renegotiation hot path takes the lock shared; setup and teardown take it
+// exclusively.
+type shard struct {
+	mu  sync.RWMutex
+	vcs map[VCID]*vcState
+	// pad keeps neighbouring shards' locks off one cache line, so shard
+	// parallelism is not silently serialized by false sharing.
+	_ [24]byte
 }
 
 // instruments caches the switch's registry handles. All fields are nil-safe
@@ -136,7 +192,10 @@ type instruments struct {
 	denials      *metrics.Counter
 	resyncs      *metrics.Counter
 	dupDrops     *metrics.Counter
+	batches      *metrics.Counter
+	batchCells   *metrics.Counter
 	renegLatency *metrics.Histogram
+	shardVCsMax  *metrics.Gauge
 }
 
 // Metric and event names exposed by the switch.
@@ -150,6 +209,15 @@ const (
 	MetricResyncs      = "switch.resyncs"
 	MetricDupDrops     = "switch.rm_duplicates_dropped"
 	MetricRenegLatency = "switch.renegotiation_seconds"
+	// MetricShardCount is the configured shard count (a gauge, set once at
+	// construction); MetricShardVCsMax tracks the high-water VC occupancy of
+	// the fullest shard, a cheap balance check for the VCI->shard spread.
+	MetricShardCount  = "switch.shard.count"
+	MetricShardVCsMax = "switch.shard.vcs_max"
+	// MetricRMBatches / MetricRMBatchCells count HandleRMBatch invocations
+	// and the RM messages they coalesced.
+	MetricRMBatches    = "switch.rm_batches"
+	MetricRMBatchCells = "switch.rm_batch_cells"
 )
 
 // PortReservedGauge returns the registry name of a port's reserved-rate
@@ -163,15 +231,37 @@ func PortCapacityGauge(portID int) string {
 	return fmt.Sprintf("switch.port.%d.capacity_bps", portID)
 }
 
+// DefaultShards is the default VC-table shard count. Power of two; high
+// enough that a renegotiation storm across tens of thousands of VCs spreads
+// over independent locks, low enough that an idle switch stays small.
+const DefaultShards = 32
+
+// maxShards bounds WithShards; past this the shard array itself is the
+// memory cost, not the contention relief.
+const maxShards = 1 << 14
+
 // Switch is a software RCBR switch. It is safe for concurrent use;
-// renegotiations contend only when they share an output port.
+// renegotiations contend only when they share a VC-table shard (a
+// reader-shared lock) or an output port.
 type Switch struct {
-	// mu guards the ports and vcs maps. Renegotiation takes it shared (so
-	// teardown cannot free a VC out from under an in-flight RM cell);
-	// setup, teardown, and port registration take it exclusively.
-	mu    sync.RWMutex
-	ports map[int]*port
-	vcs   map[uint16]*vcState
+	// shards holds the VC table; shardMask is len(shards)-1 (power of two).
+	shards    []shard
+	shardMask uint32
+
+	// portMu guards the ports map itself (registration and lookup); each
+	// port's accounting has its own mutex.
+	portMu sync.RWMutex
+	ports  map[int]*port
+
+	// setupMu serializes Setup calls so a stateful Admitter never runs
+	// concurrently with itself, exactly as under the old global lock. It is
+	// always acquired before any shard or port lock.
+	setupMu sync.Mutex
+	// maxShardVCs is the high-water occupancy of the fullest shard,
+	// guarded by setupMu (only setup grows a shard).
+	maxShardVCs int
+
+	vcCount atomic.Int64
 
 	admitter Admitter
 	stats    statCounters
@@ -204,17 +294,43 @@ func WithEventTrace(ring *metrics.EventRing) Option {
 	return func(s *Switch) { s.events = ring }
 }
 
+// WithShards sets the VC-table shard count, rounded up to a power of two
+// and clamped to [1, 16384]. One shard reproduces the pre-sharding fabric —
+// a single reader-shared lock over one map — and is the "legacy" baseline
+// the fabric benchmarks compare against. Values <= 0 keep the default.
+func WithShards(n int) Option {
+	return func(s *Switch) {
+		if n <= 0 {
+			return
+		}
+		if n > maxShards {
+			n = maxShards
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		s.shards = make([]shard, p)
+	}
+}
+
 // New returns an empty switch configured by the options. With no options it
 // admits every call that fits within port capacity and records nothing.
 func New(opts ...Option) *Switch {
 	s := &Switch{
 		ports: make(map[int]*port),
-		vcs:   make(map[uint16]*vcState),
 	}
 	for _, opt := range opts {
 		if opt != nil {
 			opt(s)
 		}
+	}
+	if s.shards == nil {
+		s.shards = make([]shard, DefaultShards)
+	}
+	s.shardMask = uint32(len(s.shards) - 1)
+	for i := range s.shards {
+		s.shards[i].vcs = make(map[VCID]*vcState)
 	}
 	if s.reg != nil {
 		s.ins = instruments{
@@ -226,10 +342,31 @@ func New(opts ...Option) *Switch {
 			denials:      s.reg.Counter(MetricDenials),
 			resyncs:      s.reg.Counter(MetricResyncs),
 			dupDrops:     s.reg.Counter(MetricDupDrops),
+			batches:      s.reg.Counter(MetricRMBatches),
+			batchCells:   s.reg.Counter(MetricRMBatchCells),
 			renegLatency: s.reg.Histogram(MetricRenegLatency, metrics.DefBuckets),
+			shardVCsMax:  s.reg.Gauge(MetricShardVCsMax),
 		}
+		s.reg.Gauge(MetricShardCount).Set(float64(len(s.shards)))
 	}
 	return s
+}
+
+// ShardCount returns the configured number of VC-table shards.
+func (s *Switch) ShardCount() int { return len(s.shards) }
+
+// shard selects the owning shard of a VC. Sequential VCIs stripe round-robin
+// across shards, so the common dense allocation pattern balances perfectly.
+func (s *Switch) shard(id VCID) *shard {
+	return &s.shards[uint32(id)&s.shardMask]
+}
+
+// port resolves a registered port by id, or nil.
+func (s *Switch) port(id int) *port {
+	s.portMu.RLock()
+	p := s.ports[id]
+	s.portMu.RUnlock()
+	return p
 }
 
 // AddPort registers an output port with the given capacity in bits/second.
@@ -237,8 +374,8 @@ func (s *Switch) AddPort(id int, capacity float64) error {
 	if capacity <= 0 {
 		return fmt.Errorf("%w: capacity %g", ErrInvalidRate, capacity)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.portMu.Lock()
+	defer s.portMu.Unlock()
 	if _, ok := s.ports[id]; ok {
 		return fmt.Errorf("%w: %d", ErrPortExists, id)
 	}
@@ -262,96 +399,115 @@ func (p *port) setReserved(v float64) {
 	p.reservedGauge.Set(v)
 }
 
-// Setup establishes a VC on an output port at an initial rate: the
+// Setup establishes a VC (VPI 0) on an output port at an initial rate: the
 // heavyweight signaling path, subject to admission control and the hard
 // capacity check.
 func (s *Switch) Setup(vci uint16, portID int, rate float64) error {
+	return s.SetupID(VCID(vci), portID, rate)
+}
+
+// SetupID is Setup addressing the full (VPI, VCI) space.
+func (s *Switch) SetupID(id VCID, portID int, rate float64) error {
 	if rate < 0 {
 		return fmt.Errorf("%w: %g", ErrInvalidRate, rate)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.ports[portID]
-	if !ok {
+	s.setupMu.Lock()
+	defer s.setupMu.Unlock()
+	p := s.port(portID)
+	if p == nil {
 		return fmt.Errorf("%w: %d", ErrNoPort, portID)
 	}
-	if _, ok := s.vcs[vci]; ok {
-		return fmt.Errorf("%w: %d", ErrVCExists, vci)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.vcs[id]; ok {
+		return fmt.Errorf("%w: %s", ErrVCExists, id)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.reserved+rate > p.capacity {
-		s.rejectSetup(vci, portID, rate)
+		s.rejectSetup(id, portID, rate)
 		return fmt.Errorf("%w: port %d has %g of %g reserved",
 			ErrCapacity, portID, p.reserved, p.capacity)
 	}
 	if s.admitter != nil && !s.admitter.AdmitCall(portID, rate, p.reserved, p.capacity) {
-		s.rejectSetup(vci, portID, rate)
+		s.rejectSetup(id, portID, rate)
 		return ErrAdmission
 	}
 	p.setReserved(p.reserved + rate)
-	s.vcs[vci] = &vcState{port: portID, rate: rate}
+	sh.vcs[id] = &vcState{p: p, rate: rate}
+	s.vcCount.Add(1)
+	if n := len(sh.vcs); n > s.maxShardVCs {
+		s.maxShardVCs = n
+		s.ins.shardVCsMax.Set(float64(n))
+	}
 	s.stats.setups.Add(1)
 	s.ins.setups.Inc()
-	s.events.Record(metrics.Event{Kind: metrics.EventSetup, VCI: vci, Port: portID, Rate: rate})
+	s.events.Record(metrics.Event{Kind: metrics.EventSetup, VPI: id.VPI(), VCI: id.VCI(), Port: portID, Rate: rate})
 	return nil
 }
 
-func (s *Switch) rejectSetup(vci uint16, portID int, rate float64) {
+func (s *Switch) rejectSetup(id VCID, portID int, rate float64) {
 	s.stats.setupRejects.Add(1)
 	s.ins.setupRejects.Inc()
 	s.events.Record(metrics.Event{
-		Kind: metrics.EventSetupReject, VCI: vci, Port: portID, Requested: rate,
+		Kind: metrics.EventSetupReject, VPI: id.VPI(), VCI: id.VCI(), Port: portID, Requested: rate,
 	})
 }
 
-// Teardown releases a VC and its reservation.
+// Teardown releases a VC (VPI 0) and its reservation.
 func (s *Switch) Teardown(vci uint16) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vc, ok := s.vcs[vci]
+	return s.TeardownID(VCID(vci))
+}
+
+// TeardownID is Teardown addressing the full (VPI, VCI) space. Taking the
+// shard exclusively guarantees no RM cell is mid-flight on the VC when its
+// state is freed.
+func (s *Switch) TeardownID(id VCID) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vc, ok := sh.vcs[id]
 	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoVC, vci)
+		return fmt.Errorf("%w: %s", ErrNoVC, id)
 	}
-	p := s.ports[vc.port]
+	p := vc.p
 	p.mu.Lock()
 	p.setReserved(p.reserved - vc.rate)
 	p.mu.Unlock()
-	delete(s.vcs, vci)
+	delete(sh.vcs, id)
+	s.vcCount.Add(-1)
 	s.stats.teardowns.Add(1)
 	s.ins.teardowns.Inc()
-	s.events.Record(metrics.Event{Kind: metrics.EventTeardown, VCI: vci, Port: vc.port})
+	s.events.Record(metrics.Event{Kind: metrics.EventTeardown, VPI: id.VPI(), VCI: id.VCI(), Port: p.id})
 	return nil
 }
 
-// lookupVC resolves a VC and its port under the shared table lock. The
-// caller must hold s.mu (shared or exclusive).
-func (s *Switch) lookupVC(vci uint16) (*vcState, *port, error) {
-	vc, exists := s.vcs[vci]
-	if !exists {
-		return nil, nil, fmt.Errorf("%w: %d", ErrNoVC, vci)
-	}
-	return vc, s.ports[vc.port], nil
-}
-
-// Renegotiate applies a rate change request for a VC: the paper's
+// Renegotiate applies a rate change request for a VC (VPI 0): the paper's
 // lightweight path. Decreases always succeed; an increase succeeds iff the
 // port stays within capacity. It returns the rate now in force and whether
 // the request was granted in full.
 func (s *Switch) Renegotiate(vci uint16, newRate float64) (granted float64, ok bool, err error) {
+	return s.RenegotiateID(VCID(vci), newRate)
+}
+
+// RenegotiateID is Renegotiate addressing the full (VPI, VCI) space.
+func (s *Switch) RenegotiateID(id VCID, newRate float64) (granted float64, ok bool, err error) {
 	if newRate < 0 {
 		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, newRate)
 	}
 	defer s.observeRenegLatency(s.renegStart())
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vc, p, err := s.lookupVC(vci)
-	if err != nil {
-		return 0, false, err
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vc := sh.vcs[id]
+	if vc == nil {
+		return 0, false, fmt.Errorf("%w: %s", ErrNoVC, id)
 	}
+	p := vc.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	granted, ok = s.applyRate(vci, vc, p, newRate, metrics.EventRenegGrant)
+	granted, ok = s.applyRate(id, vc, p, newRate, metrics.EventRenegGrant)
 	return granted, ok, nil
 }
 
@@ -367,7 +523,8 @@ func (s *Switch) renegStart() time.Time {
 // observeRenegLatency records one renegotiation-latency observation. Both
 // Renegotiate and HandleRM observe on every path past argument validation —
 // grant, deny, duplicate drop, and error alike — so the histogram is a
-// faithful per-request latency record.
+// faithful per-request latency record. HandleRMBatch observes once per
+// batch: the batch is the request.
 func (s *Switch) observeRenegLatency(start time.Time) {
 	if s.ins.renegLatency == nil || start.IsZero() {
 		return
@@ -376,10 +533,10 @@ func (s *Switch) observeRenegLatency(start time.Time) {
 }
 
 // applyRate is the paper's one-compare renegotiation decision. It must be
-// called with s.mu held shared (or exclusive) and p.mu held. grantKind is
-// the event recorded on success (renegotiate-grant, or resync when the
-// request carried an absolute rate).
-func (s *Switch) applyRate(vci uint16, vc *vcState, p *port, newRate float64, grantKind metrics.EventKind) (float64, bool) {
+// called with the VC's shard lock held shared (or exclusive) and p.mu held.
+// grantKind is the event recorded on success (renegotiate-grant, or resync
+// when the request carried an absolute rate).
+func (s *Switch) applyRate(id VCID, vc *vcState, p *port, newRate float64, grantKind metrics.EventKind) (float64, bool) {
 	s.stats.renegotiations.Add(1)
 	s.ins.renegs.Inc()
 	if p.reserved-vc.rate+newRate <= p.capacity {
@@ -387,7 +544,7 @@ func (s *Switch) applyRate(vci uint16, vc *vcState, p *port, newRate float64, gr
 		vc.rate = newRate
 		s.ins.grants.Inc()
 		s.events.Record(metrics.Event{
-			Kind: grantKind, VCI: vci, Port: p.id, Rate: newRate,
+			Kind: grantKind, VPI: id.VPI(), VCI: id.VCI(), Port: p.id, Rate: newRate,
 		})
 		return newRate, true
 	}
@@ -395,7 +552,7 @@ func (s *Switch) applyRate(vci uint16, vc *vcState, p *port, newRate float64, gr
 	s.stats.denials.Add(1)
 	s.ins.denials.Inc()
 	s.events.Record(metrics.Event{
-		Kind: metrics.EventRenegDeny, VCI: vci, Port: p.id,
+		Kind: metrics.EventRenegDeny, VPI: id.VPI(), VCI: id.VCI(), Port: p.id,
 		Rate: vc.rate, Requested: newRate,
 	})
 	return vc.rate, false
@@ -406,6 +563,7 @@ func (s *Switch) applyRate(vci uint16, vc *vcState, p *port, newRate float64, gr
 // assert the absolute rate. The returned cell echoes the request with
 // Backward and Response set, Deny set on failure, and ER carrying the rate
 // now in force (absolute), so the source can resynchronize from any reply.
+// The VC is addressed by the header's full (VPI, VCI) pair.
 //
 // Sequenced delta cells (Seq != 0) at or below the VC's last-seen sequence
 // number are dropped as delayed duplicates — the delta was already
@@ -421,12 +579,22 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 		return cell.RM{}, fmt.Errorf("%w: %g", ErrInvalidRate, m.ER)
 	}
 	defer s.observeRenegLatency(s.renegStart())
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vc, p, err := s.lookupVC(h.VCI)
-	if err != nil {
-		return cell.RM{}, err
+	id := MakeVCID(h.VPI, h.VCI)
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vc := sh.vcs[id]
+	if vc == nil {
+		return cell.RM{}, fmt.Errorf("%w: %s", ErrNoVC, id)
 	}
+	return s.handleRMLocked(id, vc, m), nil
+}
+
+// handleRMLocked applies one validated forward RM message to an established
+// VC and builds the backward cell. The VC's shard lock must be held (shared
+// suffices); the port mutex is taken here.
+func (s *Switch) handleRMLocked(id VCID, vc *vcState, m cell.RM) cell.RM {
+	p := vc.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if m.Seq != 0 {
@@ -439,7 +607,7 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 				Resync:   true, // ER below is absolute
 				ER:       vc.rate,
 				Seq:      m.Seq,
-			}, nil
+			}
 		}
 		vc.lastSeq = m.Seq
 		vc.seqSeen = true
@@ -460,7 +628,7 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	default:
 		want = vc.rate + m.ER
 	}
-	granted, ok := s.applyRate(h.VCI, vc, p, want, grantKind)
+	granted, ok := s.applyRate(id, vc, p, want, grantKind)
 	return cell.RM{
 		Backward: true,
 		Response: true,
@@ -468,28 +636,104 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 		Deny:     !ok,
 		ER:       granted,
 		Seq:      m.Seq,
-	}, nil
+	}
 }
 
-// VCRate returns the reserved rate of a VC.
-func (s *Switch) VCRate(vci uint16) (float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vc, p, err := s.lookupVC(vci)
-	if err != nil {
-		return 0, err
+// RMItem is one VC's RM message inside a coalesced batch: the forward
+// message on the way in, the backward cell on the way out.
+type RMItem struct {
+	VPI uint8
+	VCI uint16
+	M   cell.RM
+}
+
+// batchChunk bounds the items a single done-bitmask tracks in
+// HandleRMBatch; longer batches are processed in consecutive chunks.
+const batchChunk = 64
+
+// HandleRMBatch processes a coalesced batch of forward RM messages for
+// distinct VCs and appends the backward cells to out (which may be nil; it
+// is returned grown, so callers can reuse one slice across batches for an
+// allocation-free steady state). Items are grouped by VC-table shard and
+// each group is applied under a single shared acquisition of that shard's
+// lock — one lock round-trip per shard touched instead of one per cell —
+// with shard groups processed strictly sequentially, preserving the
+// never-two-shards lock invariant.
+//
+// Per-item semantics are exactly HandleRM's (sequence duplicate-drop,
+// resync, deny accounting, events), with one wire-shaped difference:
+// invalid items (backward/response set, negative ER) and unknown VCs
+// produce no reply entry instead of an error, so callers match replies to
+// requests by (VPI, VCI) and treat a missing entry as a per-VC failure to
+// resolve on the singleton path. The renegotiation-latency histogram
+// records one observation for the whole batch.
+func (s *Switch) HandleRMBatch(items []RMItem, out []RMItem) []RMItem {
+	defer s.observeRenegLatency(s.renegStart())
+	s.stats.batches.Add(1)
+	s.stats.batchCells.Add(int64(len(items)))
+	s.ins.batches.Inc()
+	s.ins.batchCells.Add(int64(len(items)))
+	var shards [batchChunk]*shard
+	for base := 0; base < len(items); base += batchChunk {
+		chunk := items[base:]
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		for i := range chunk {
+			shards[i] = s.shard(MakeVCID(chunk[i].VPI, chunk[i].VCI))
+		}
+		// pending tracks items not yet applied; a shift of 64 is defined as 0
+		// in Go, so a full chunk yields the all-ones mask.
+		pending := uint64(1)<<uint(len(chunk)) - 1
+		for pending != 0 {
+			sh := shards[bits.TrailingZeros64(pending)]
+			sh.mu.RLock()
+			for rest := pending; rest != 0; rest &= rest - 1 {
+				j := bits.TrailingZeros64(rest)
+				if shards[j] != sh {
+					continue
+				}
+				pending &^= 1 << uint(j)
+				m := chunk[j].M
+				if m.Backward || m.Response || m.ER < 0 {
+					continue
+				}
+				id := MakeVCID(chunk[j].VPI, chunk[j].VCI)
+				vc := sh.vcs[id]
+				if vc == nil {
+					continue
+				}
+				out = append(out, RMItem{VPI: id.VPI(), VCI: id.VCI(), M: s.handleRMLocked(id, vc, m)})
+			}
+			sh.mu.RUnlock()
+		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	return out
+}
+
+// VCRate returns the reserved rate of a VC (VPI 0).
+func (s *Switch) VCRate(vci uint16) (float64, error) {
+	return s.VCRateID(VCID(vci))
+}
+
+// VCRateID is VCRate addressing the full (VPI, VCI) space.
+func (s *Switch) VCRateID(id VCID) (float64, error) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vc := sh.vcs[id]
+	if vc == nil {
+		return 0, fmt.Errorf("%w: %s", ErrNoVC, id)
+	}
+	vc.p.mu.Lock()
+	defer vc.p.mu.Unlock()
 	return vc.rate, nil
 }
 
 // PortLoad returns a port's reserved rate and capacity.
 func (s *Switch) PortLoad(id int) (reserved, capacity float64, err error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.ports[id]
-	if !ok {
+	p := s.port(id)
+	if p == nil {
 		return 0, 0, fmt.Errorf("%w: %d", ErrNoPort, id)
 	}
 	p.mu.Lock()
@@ -499,32 +743,39 @@ func (s *Switch) PortLoad(id int) (reserved, capacity float64, err error) {
 
 // VCCount returns the number of established VCs.
 func (s *Switch) VCCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.vcs)
+	return int(s.vcCount.Load())
 }
 
 // VCInfo describes one established VC.
 type VCInfo struct {
+	VPI  uint8   `json:"vpi,omitempty"`
 	VCI  uint16  `json:"vci"`
 	Port int     `json:"port"`
 	Rate float64 `json:"rate_bps"`
 }
 
-// VCs returns every established VC sorted by VCI: the backing data of the
-// daemon's /vcs endpoint.
+// VCs returns every established VC sorted by (VPI, VCI): the backing data
+// of the daemon's /vcs endpoint. Shards are visited one at a time, so the
+// listing never holds more than one shard lock.
 func (s *Switch) VCs() []VCInfo {
-	s.mu.RLock()
-	out := make([]VCInfo, 0, len(s.vcs))
-	for vci, vc := range s.vcs {
-		p := s.ports[vc.port]
-		p.mu.Lock()
-		rate := vc.rate
-		p.mu.Unlock()
-		out = append(out, VCInfo{VCI: vci, Port: vc.port, Rate: rate})
+	out := make([]VCInfo, 0, s.VCCount())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, vc := range sh.vcs {
+			vc.p.mu.Lock()
+			rate := vc.rate
+			vc.p.mu.Unlock()
+			out = append(out, VCInfo{VPI: id.VPI(), VCI: id.VCI(), Port: vc.p.id, Rate: rate})
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].VCI < out[j].VCI })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VPI != out[j].VPI {
+			return out[i].VPI < out[j].VPI
+		}
+		return out[i].VCI < out[j].VCI
+	})
 	return out
 }
 
@@ -538,5 +789,7 @@ func (s *Switch) Stats() Stats {
 		Denials:        s.stats.denials.Load(),
 		Resyncs:        s.stats.resyncs.Load(),
 		DupDrops:       s.stats.dupDrops.Load(),
+		Batches:        s.stats.batches.Load(),
+		BatchCells:     s.stats.batchCells.Load(),
 	}
 }

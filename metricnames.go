@@ -26,6 +26,10 @@ const (
 	MetricSwitchResyncs      = switchfab.MetricResyncs
 	MetricSwitchDupDrops     = switchfab.MetricDupDrops
 	MetricSwitchRenegLatency = switchfab.MetricRenegLatency
+	MetricSwitchShardCount   = switchfab.MetricShardCount
+	MetricSwitchShardVCsMax  = switchfab.MetricShardVCsMax
+	MetricSwitchRMBatches    = switchfab.MetricRMBatches
+	MetricSwitchRMBatchCells = switchfab.MetricRMBatchCells
 
 	// Signaling client (owner: internal/netproto).
 	MetricSignalClientRequests = netproto.MetricClientRequests
@@ -36,6 +40,13 @@ const (
 	MetricSignalClientRMSent   = netproto.MetricClientRMSent
 	MetricSignalClientRMRecv   = netproto.MetricClientRMRecv
 	MetricSignalClientRTT      = netproto.MetricClientRTT
+
+	// Batched renegotiation (owners: internal/netproto, internal/switchfab).
+	MetricSignalClientBatches       = netproto.MetricClientBatches
+	MetricSignalClientBatchCells    = netproto.MetricClientBatchCells
+	MetricSignalClientBatchFallback = netproto.MetricClientBatchFallbacks
+	MetricSignalServerBatches       = netproto.MetricServerBatches
+	MetricSignalServerBatchCells    = netproto.MetricServerBatchCells
 
 	// Signaling server (owner: internal/netproto).
 	MetricSignalServerRx         = netproto.MetricServerRx

@@ -256,6 +256,11 @@ func WithSwitchMetrics(reg *MetricsRegistry) SwitchOption { return switchfab.Wit
 // WithSwitchEvents records a Switch's per-VC lifecycle events into ring.
 func WithSwitchEvents(ring *EventRing) SwitchOption { return switchfab.WithEventTrace(ring) }
 
+// WithSwitchShards sets how many lock domains a Switch spreads its VC state
+// over (rounded up to a power of two; 1 restores the legacy single global
+// lock). The default suits 100k+ established VCs.
+func WithSwitchShards(n int) SwitchOption { return switchfab.WithShards(n) }
+
 // NewSwitch returns a software RCBR switch; a nil admitter admits every call
 // that fits. Options (WithSwitchMetrics, WithSwitchEvents) extend the legacy
 // single-argument form without breaking it.
@@ -298,6 +303,15 @@ func WithSignalRetries(n int) SignalClientOption { return netproto.WithRetries(n
 // RTT histogram into reg.
 func WithSignalMetrics(reg *MetricsRegistry) SignalClientOption {
 	return netproto.WithClientMetrics(reg)
+}
+
+// WithSignalBatchWindow makes a SignalClient coalesce renegotiations that
+// arrive within d of each other into one batch RM frame (framing v3, up to
+// 32 cells). Against a pre-batch peer the client falls back to per-VC
+// resyncs, so the option is safe against any switch. Zero disables
+// coalescing (the default).
+func WithSignalBatchWindow(d time.Duration) SignalClientOption {
+	return netproto.WithBatchWindow(d)
 }
 
 // DialSwitch connects a signaling client to an RCBR switch daemon with a
