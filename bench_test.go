@@ -5,8 +5,11 @@
 package rcbr_test
 
 import (
+	"context"
 	"os"
+	"strconv"
 	"testing"
+	"time"
 
 	"rcbr/internal/admission"
 	"rcbr/internal/bookahead"
@@ -17,8 +20,8 @@ import (
 	"rcbr/internal/heuristic"
 	"rcbr/internal/ld"
 	"rcbr/internal/markov"
+	"rcbr/internal/mesh"
 	"rcbr/internal/mux"
-	"rcbr/internal/path"
 	"rcbr/internal/queue"
 	"rcbr/internal/shaper"
 	"rcbr/internal/smg"
@@ -474,29 +477,51 @@ func BenchmarkBookaheadBook(b *testing.B) {
 
 // --- Section III-C: multi-hop renegotiation and signaling latency ---
 
-func BenchmarkPathRenegotiate(b *testing.B) {
-	hops := make([]path.Hop, 4)
-	for i := range hops {
-		sw := switchfab.New(nil)
-		if err := sw.AddPort(1, 10e6); err != nil {
+// benchMeshRenegotiate measures an end-to-end increase/decrease pair over a
+// chain of nHops switches (delay scaling off, so the cost is the signaling
+// walk itself, not modeled propagation).
+func benchMeshRenegotiate(b *testing.B, nHops int) {
+	m := mesh.New(mesh.WithDelayScale(0))
+	names := make([]string, nHops+1)
+	for i := 0; i < nHops; i++ {
+		names[i] = "s" + strconv.Itoa(i)
+		if err := m.AddSwitch(names[i], switchfab.New(nil)); err != nil {
 			b.Fatal(err)
 		}
-		hops[i] = path.Hop{Switch: sw, Port: 1}
 	}
-	p, err := path.Setup(1, hops, 100e3)
+	names[nHops] = "sink"
+	if err := m.AddHost("sink"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nHops; i++ {
+		if err := m.AddLink(names[i], names[i+1], 1, 10e6, time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hops, err := m.Route(names...)
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
+	p, err := m.SetupPath(ctx, switchfab.MakeVCID(0, 1), hops, 100e3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := p.Renegotiate(500e3); err != nil {
+		if _, err := p.Renegotiate(ctx, 500e3); err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := p.Renegotiate(100e3); err != nil {
+		if _, err := p.Renegotiate(ctx, 100e3); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkMeshRenegotiate1(b *testing.B) { benchMeshRenegotiate(b, 1) }
+func BenchmarkMeshRenegotiate4(b *testing.B) { benchMeshRenegotiate(b, 4) }
+func BenchmarkMeshRenegotiate8(b *testing.B) { benchMeshRenegotiate(b, 8) }
 
 func BenchmarkHeuristicWithSignalDelay(b *testing.B) {
 	tr := benchTrace(b)

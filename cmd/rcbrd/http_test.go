@@ -36,7 +36,7 @@ func TestEndpointsShowSignalingActivity(t *testing.T) {
 	defer web.Close()
 
 	ctx := context.Background()
-	cl, err := netproto.Dial(srv.Addr().String(), netproto.WithTimeout(time.Second))
+	cl, err := netproto.DialContext(ctx, srv.Addr().String(), netproto.WithTimeout(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

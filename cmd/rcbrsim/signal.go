@@ -71,13 +71,13 @@ func signalRun(args []string) error {
 	defer srv.Close()
 	go srv.Serve() //nolint:errcheck // exits via Close
 
-	cl, err := netproto.Dial(srv.Addr().String(),
+	ctx := context.Background()
+	cl, err := netproto.DialContext(ctx, srv.Addr().String(),
 		netproto.WithTimeout(time.Second), netproto.WithClientMetrics(reg))
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-	ctx := context.Background()
 
 	fmt.Printf("signal: %d sources, %d frames each, link %.2f Mb/s (%.2fx aggregate mean)\n",
 		*n, *frames, capacity/1e6, *capFrac)

@@ -60,13 +60,13 @@ func main() {
 	defer srv.Close()
 	go srv.Serve() //nolint:errcheck // exits via Close
 
-	cl, err := netproto.Dial(srv.Addr().String(),
+	ctx := context.Background()
+	cl, err := netproto.DialContext(ctx, srv.Addr().String(),
 		netproto.WithTimeout(300*time.Millisecond), netproto.WithRetries(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
-	ctx := context.Background()
 
 	// Call setup at the schedule's initial rate (the heavyweight path).
 	events := sch.Events()

@@ -206,3 +206,47 @@ func (sf *shardedFabric) portLockAcrossHandoff(delta float64) {
 	sf.ch <- 1 // want "sf.portMu is held across a channel send"
 	sf.portMu.Unlock()
 }
+
+// meshPath mirrors internal/mesh's Path: a size-1 channel semaphore
+// serializes whole path transactions (which block on modeled propagation
+// delay), while a plain mutex guards only the rate/down snapshot fields.
+type meshPath struct {
+	sem  chan struct{}
+	rmu  sync.Mutex
+	rate float64
+	down bool
+	ch   chan int
+}
+
+// semaphoreThenSleep is the mesh transaction shape the semaphore exists
+// for: acquire via channel send (no mutex involved), block on the modeled
+// link delay, then touch the snapshot fields under the mutex only briefly.
+// The analyzer must stay silent — the blocking happens outside any lock.
+func (p *meshPath) semaphoreThenSleep() {
+	p.sem <- struct{}{}
+	time.Sleep(5) // modeled propagation delay, no lock held
+	p.rmu.Lock()
+	p.rate = 1
+	p.rmu.Unlock()
+	<-p.sem
+}
+
+// snapshotUnderLockAcrossWait is the anti-pattern the semaphore design
+// avoids: holding the snapshot mutex across the per-hop wait would pin
+// Rate() readers for a full satellite round trip.
+func (p *meshPath) snapshotUnderLockAcrossWait() {
+	p.rmu.Lock()
+	time.Sleep(5) // want "p.rmu is held across time.Sleep"
+	p.rate = 1
+	p.rmu.Unlock()
+}
+
+// semaphoreAcquireUnderLock: taking the transaction semaphore (a channel
+// send) while the snapshot mutex is held inverts the design and deadlocks
+// against a transaction updating the snapshot.
+func (p *meshPath) semaphoreAcquireUnderLock() {
+	p.rmu.Lock()
+	p.sem <- struct{}{} // want "p.rmu is held across a channel send"
+	p.rmu.Unlock()
+	<-p.sem
+}

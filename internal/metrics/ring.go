@@ -10,7 +10,8 @@ import (
 // EventKind classifies one per-VC lifecycle event.
 type EventKind uint8
 
-// Event kinds recorded by the switch.
+// Event kinds recorded by the switch (per-hop) and by the mesh layer
+// (end-to-end, across a whole multi-hop path).
 const (
 	EventSetup EventKind = iota + 1
 	EventSetupReject
@@ -18,15 +19,37 @@ const (
 	EventRenegDeny
 	EventResync
 	EventTeardown
+
+	// Path-level kinds, recorded by internal/mesh for the end-to-end
+	// outcome of a multi-hop operation.
+	EventPathSetup
+	EventPathSetupFail
+	EventPathGrant
+	EventPathPartial
+	EventPathDeny
+	EventPathTeardown
+
+	// Hop-level mesh kinds: one slow or denying hop's effect on the path.
+	// These carry the hop's name in Event.Hop.
+	EventHopTimeout
+	EventHopRollback
 )
 
 var eventKindNames = [...]string{
-	EventSetup:       "setup",
-	EventSetupReject: "setup-reject",
-	EventRenegGrant:  "renegotiate-grant",
-	EventRenegDeny:   "renegotiate-deny",
-	EventResync:      "resync",
-	EventTeardown:    "teardown",
+	EventSetup:         "setup",
+	EventSetupReject:   "setup-reject",
+	EventRenegGrant:    "renegotiate-grant",
+	EventRenegDeny:     "renegotiate-deny",
+	EventResync:        "resync",
+	EventTeardown:      "teardown",
+	EventPathSetup:     "path-setup",
+	EventPathSetupFail: "path-setup-fail",
+	EventPathGrant:     "path-grant",
+	EventPathPartial:   "path-partial",
+	EventPathDeny:      "path-deny",
+	EventPathTeardown:  "path-teardown",
+	EventHopTimeout:    "hop-timeout",
+	EventHopRollback:   "hop-rollback",
 }
 
 // String returns the stable wire name of the kind ("setup",
@@ -58,6 +81,9 @@ type Event struct {
 	// Requested is the rate asked for, where it differs from Rate (denied
 	// or rejected requests); zero otherwise.
 	Requested float64
+	// Hop names the mesh hop an event is scoped to, for the hop-level
+	// kinds; empty for single-switch and path-level events.
+	Hop string
 }
 
 // eventJSON is the exported JSON schema of an Event (documented in
@@ -71,6 +97,7 @@ type eventJSON struct {
 	Port      int     `json:"port"`
 	Rate      float64 `json:"rate_bps"`
 	Requested float64 `json:"requested_bps,omitempty"`
+	Hop       string  `json:"hop,omitempty"`
 }
 
 // MarshalJSON renders the event with a string kind and RFC 3339 timestamp.
@@ -84,6 +111,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Port:      e.Port,
 		Rate:      e.Rate,
 		Requested: e.Requested,
+		Hop:       e.Hop,
 	})
 }
 

@@ -91,3 +91,18 @@ func (a *Accumulator) UpperBelow(target float64, minSamples int) bool {
 	}
 	return a.mean+a.CI95HalfWidth() < target
 }
+
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) for the
+// allocation vector xs: 1 when every user holds an equal share, 1/n when
+// one user holds everything. An empty or all-zero vector returns 0.
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

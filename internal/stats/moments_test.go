@@ -119,3 +119,28 @@ func TestWelfordMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0, 0}, 0},
+		{[]float64{5}, 1},
+		{[]float64{3, 3, 3, 3}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25}, // one user holds everything: 1/n
+		{[]float64{4, 2}, (6 * 6) / (2 * 20.0)},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JainIndex(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	// Scale invariance: J(kx) == J(x).
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	if math.Abs(JainIndex(a)-JainIndex(b)) > 1e-12 {
+		t.Error("JainIndex is not scale-invariant")
+	}
+}

@@ -121,7 +121,11 @@ type Stats struct {
 	Teardowns      int64
 	Renegotiations int64
 	Denials        int64
-	Resyncs        int64
+	// PartialGrants counts RenegotiateBestID requests settled below the
+	// asked-for rate but above the old one (denials and full grants are
+	// counted under Denials and Renegotiations as usual).
+	PartialGrants int64
+	Resyncs       int64
 	// DupDrops counts sequenced delta RM cells dropped as delayed
 	// duplicates (see HandleRM).
 	DupDrops int64
@@ -139,6 +143,7 @@ type statCounters struct {
 	teardowns      atomic.Int64
 	renegotiations atomic.Int64
 	denials        atomic.Int64
+	partialGrants  atomic.Int64
 	resyncs        atomic.Int64
 	dupDrops       atomic.Int64
 	batches        atomic.Int64
@@ -184,18 +189,19 @@ type shard struct {
 // no-ops when no registry is configured, so the hot path records
 // unconditionally.
 type instruments struct {
-	setups       *metrics.Counter
-	setupRejects *metrics.Counter
-	teardowns    *metrics.Counter
-	renegs       *metrics.Counter
-	grants       *metrics.Counter
-	denials      *metrics.Counter
-	resyncs      *metrics.Counter
-	dupDrops     *metrics.Counter
-	batches      *metrics.Counter
-	batchCells   *metrics.Counter
-	renegLatency *metrics.Histogram
-	shardVCsMax  *metrics.Gauge
+	setups        *metrics.Counter
+	setupRejects  *metrics.Counter
+	teardowns     *metrics.Counter
+	renegs        *metrics.Counter
+	grants        *metrics.Counter
+	denials       *metrics.Counter
+	partialGrants *metrics.Counter
+	resyncs       *metrics.Counter
+	dupDrops      *metrics.Counter
+	batches       *metrics.Counter
+	batchCells    *metrics.Counter
+	renegLatency  *metrics.Histogram
+	shardVCsMax   *metrics.Gauge
 }
 
 // Metric and event names exposed by the switch.
@@ -206,9 +212,12 @@ const (
 	MetricRenegs       = "switch.renegotiations"
 	MetricGrants       = "switch.renegotiation_grants"
 	MetricDenials      = "switch.renegotiation_denials"
-	MetricResyncs      = "switch.resyncs"
-	MetricDupDrops     = "switch.rm_duplicates_dropped"
-	MetricRenegLatency = "switch.renegotiation_seconds"
+	// MetricPartialGrants counts RenegotiateBestID settlements strictly
+	// between the old and the requested rate.
+	MetricPartialGrants = "switch.renegotiation_partial_grants"
+	MetricResyncs       = "switch.resyncs"
+	MetricDupDrops      = "switch.rm_duplicates_dropped"
+	MetricRenegLatency  = "switch.renegotiation_seconds"
 	// MetricShardCount is the configured shard count (a gauge, set once at
 	// construction); MetricShardVCsMax tracks the high-water VC occupancy of
 	// the fullest shard, a cheap balance check for the VCI->shard spread.
@@ -334,18 +343,19 @@ func New(opts ...Option) *Switch {
 	}
 	if s.reg != nil {
 		s.ins = instruments{
-			setups:       s.reg.Counter(MetricSetups),
-			setupRejects: s.reg.Counter(MetricSetupRejects),
-			teardowns:    s.reg.Counter(MetricTeardowns),
-			renegs:       s.reg.Counter(MetricRenegs),
-			grants:       s.reg.Counter(MetricGrants),
-			denials:      s.reg.Counter(MetricDenials),
-			resyncs:      s.reg.Counter(MetricResyncs),
-			dupDrops:     s.reg.Counter(MetricDupDrops),
-			batches:      s.reg.Counter(MetricRMBatches),
-			batchCells:   s.reg.Counter(MetricRMBatchCells),
-			renegLatency: s.reg.Histogram(MetricRenegLatency, metrics.DefBuckets),
-			shardVCsMax:  s.reg.Gauge(MetricShardVCsMax),
+			setups:        s.reg.Counter(MetricSetups),
+			setupRejects:  s.reg.Counter(MetricSetupRejects),
+			teardowns:     s.reg.Counter(MetricTeardowns),
+			renegs:        s.reg.Counter(MetricRenegs),
+			grants:        s.reg.Counter(MetricGrants),
+			denials:       s.reg.Counter(MetricDenials),
+			partialGrants: s.reg.Counter(MetricPartialGrants),
+			resyncs:       s.reg.Counter(MetricResyncs),
+			dupDrops:      s.reg.Counter(MetricDupDrops),
+			batches:       s.reg.Counter(MetricRMBatches),
+			batchCells:    s.reg.Counter(MetricRMBatchCells),
+			renegLatency:  s.reg.Histogram(MetricRenegLatency, metrics.DefBuckets),
+			shardVCsMax:   s.reg.Gauge(MetricShardVCsMax),
 		}
 		s.reg.Gauge(MetricShardCount).Set(float64(len(s.shards)))
 	}
@@ -507,8 +517,69 @@ func (s *Switch) RenegotiateID(id VCID, newRate float64) (granted float64, ok bo
 	p := vc.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	granted, ok = s.applyRate(id, vc, p, newRate, metrics.EventRenegGrant)
+	granted, ok = s.applyRate(id, vc, p, newRate, newRate, metrics.EventRenegGrant)
 	return granted, ok, nil
+}
+
+// RenegotiateBest is RenegotiateBestID addressing VPI 0.
+func (s *Switch) RenegotiateBest(vci uint16, target float64) (granted float64, full bool, err error) {
+	return s.RenegotiateBestID(VCID(vci), target)
+}
+
+// RenegotiateBestID applies a rate change granting the most the VC's port
+// can carry instead of all-or-nothing: the target if it fits, otherwise the
+// largest rate between the current rate and the target that stays within
+// capacity (a partial grant). Decreases are always granted in full, exactly
+// as in RenegotiateID. The decision is made under the port mutex, so the
+// granted rate is the port's true best at the moment of the call — there is
+// no query-then-retry window for a concurrent setup to invalidate. It
+// returns the rate now in force and whether the full target was granted;
+// a VC left at its old rate by a zero-headroom port reports full=false and
+// is accounted as a denial.
+func (s *Switch) RenegotiateBestID(id VCID, target float64) (granted float64, full bool, err error) {
+	if target < 0 {
+		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, target)
+	}
+	defer s.observeRenegLatency(s.renegStart())
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vc := sh.vcs[id]
+	if vc == nil {
+		return 0, false, fmt.Errorf("%w: %s", ErrNoVC, id)
+	}
+	p := vc.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best := target
+	if p.reserved-vc.rate+target > p.capacity {
+		headroom := p.capacity - p.reserved
+		if headroom < 0 {
+			headroom = 0
+		}
+		best = vc.rate + headroom
+	}
+	if best <= vc.rate && target > vc.rate {
+		// Zero headroom: a flat denial; the source keeps what it has
+		// (III-A.1). Record it on the deny path, not as a grant of the
+		// old rate.
+		s.stats.renegotiations.Add(1)
+		s.ins.renegs.Inc()
+		s.stats.denials.Add(1)
+		s.ins.denials.Inc()
+		s.events.Record(metrics.Event{
+			Kind: metrics.EventRenegDeny, VPI: id.VPI(), VCI: id.VCI(), Port: p.id,
+			Rate: vc.rate, Requested: target,
+		})
+		return vc.rate, false, nil
+	}
+	granted, _ = s.applyRate(id, vc, p, best, target, metrics.EventRenegGrant)
+	full = granted == target
+	if !full {
+		s.stats.partialGrants.Add(1)
+		s.ins.partialGrants.Inc()
+	}
+	return granted, full, nil
 }
 
 // renegStart returns the latency-timer start, or the zero time when the
@@ -535,17 +606,24 @@ func (s *Switch) observeRenegLatency(start time.Time) {
 // applyRate is the paper's one-compare renegotiation decision. It must be
 // called with the VC's shard lock held shared (or exclusive) and p.mu held.
 // grantKind is the event recorded on success (renegotiate-grant, or resync
-// when the request carried an absolute rate).
-func (s *Switch) applyRate(id VCID, vc *vcState, p *port, newRate float64, grantKind metrics.EventKind) (float64, bool) {
+// when the request carried an absolute rate). requested is the rate the
+// source originally asked for; it differs from newRate only on the partial
+// settlements of RenegotiateBestID and is surfaced in the grant event so
+// the trace shows the shortfall.
+func (s *Switch) applyRate(id VCID, vc *vcState, p *port, newRate, requested float64, grantKind metrics.EventKind) (float64, bool) {
 	s.stats.renegotiations.Add(1)
 	s.ins.renegs.Inc()
 	if p.reserved-vc.rate+newRate <= p.capacity {
 		p.setReserved(p.reserved + newRate - vc.rate)
 		vc.rate = newRate
 		s.ins.grants.Inc()
-		s.events.Record(metrics.Event{
+		ev := metrics.Event{
 			Kind: grantKind, VPI: id.VPI(), VCI: id.VCI(), Port: p.id, Rate: newRate,
-		})
+		}
+		if requested != newRate {
+			ev.Requested = requested
+		}
+		s.events.Record(ev)
 		return newRate, true
 	}
 	// Denied: the source keeps the bandwidth it already has (III-A.1).
@@ -628,7 +706,7 @@ func (s *Switch) handleRMLocked(id VCID, vc *vcState, m cell.RM) cell.RM {
 	default:
 		want = vc.rate + m.ER
 	}
-	granted, ok := s.applyRate(id, vc, p, want, grantKind)
+	granted, ok := s.applyRate(id, vc, p, want, want, grantKind)
 	return cell.RM{
 		Backward: true,
 		Response: true,
@@ -786,6 +864,7 @@ func (s *Switch) Stats() Stats {
 		SetupRejects:   s.stats.setupRejects.Load(),
 		Teardowns:      s.stats.teardowns.Load(),
 		Renegotiations: s.stats.renegotiations.Load(),
+		PartialGrants:  s.stats.partialGrants.Load(),
 		Denials:        s.stats.denials.Load(),
 		Resyncs:        s.stats.resyncs.Load(),
 		DupDrops:       s.stats.dupDrops.Load(),

@@ -421,3 +421,60 @@ func TestEndToEndCellPath(t *testing.T) {
 		t.Fatalf("end-to-end granted rate = %v", m2.ER)
 	}
 }
+
+func TestRenegotiateBest(t *testing.T) {
+	s := newTestSwitch(t, 1e6)
+	if err := s.Setup(1, 1, 300e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Setup(2, 1, 500e3); err != nil {
+		t.Fatal(err)
+	}
+	// 800k reserved of 1M; VC 1 asks for 600k but only 200k headroom is
+	// left, so the best grant is 500k.
+	granted, full, err := s.RenegotiateBest(1, 600e3)
+	if err != nil || full || granted != 500e3 {
+		t.Fatalf("partial expected: granted=%v full=%v err=%v", granted, full, err)
+	}
+	if reserved, _, _ := s.PortLoad(1); reserved != 1e6 {
+		t.Fatalf("reserved after partial = %v", reserved)
+	}
+	// Zero headroom now: an increase is flatly denied, rate unchanged.
+	granted, full, err = s.RenegotiateBest(2, 600e3)
+	if err != nil || full || granted != 500e3 {
+		t.Fatalf("flat denial expected: granted=%v full=%v err=%v", granted, full, err)
+	}
+	// Decreases always settle in full.
+	granted, full, err = s.RenegotiateBest(2, 100e3)
+	if err != nil || !full || granted != 100e3 {
+		t.Fatalf("decrease: granted=%v full=%v err=%v", granted, full, err)
+	}
+	// With 400k headroom the full target fits again.
+	granted, full, err = s.RenegotiateBest(1, 700e3)
+	if err != nil || !full || granted != 700e3 {
+		t.Fatalf("full grant: granted=%v full=%v err=%v", granted, full, err)
+	}
+	st := s.Stats()
+	if st.PartialGrants != 1 {
+		t.Fatalf("PartialGrants = %d", st.PartialGrants)
+	}
+	if st.Denials != 1 {
+		t.Fatalf("Denials = %d", st.Denials)
+	}
+	if st.Renegotiations != 4 {
+		t.Fatalf("Renegotiations = %d", st.Renegotiations)
+	}
+}
+
+func TestRenegotiateBestErrors(t *testing.T) {
+	s := newTestSwitch(t, 1e6)
+	if _, _, err := s.RenegotiateBest(9, 1); !errors.Is(err, ErrNoVC) {
+		t.Errorf("missing VC: %v", err)
+	}
+	if err := s.Setup(1, 1, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.RenegotiateBest(1, -1); !errors.Is(err, ErrInvalidRate) {
+		t.Errorf("negative rate: %v", err)
+	}
+}

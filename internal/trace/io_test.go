@@ -32,7 +32,9 @@ func TestBinaryRoundTrip(t *testing.T) {
 
 func TestBinaryRoundTripProperty(t *testing.T) {
 	f := func(seed uint64, n uint8, fpsTenth uint8) bool {
-		fps := float64(fpsTenth%250+10) / 10
+		// Widen before adding: in uint8 arithmetic 246%250+10 wraps to 0,
+		// which New rejects by panicking on non-positive fps.
+		fps := float64(int(fpsTenth)%250+10) / 10
 		r := stats.NewRNG(seed)
 		bits := make([]int64, n)
 		for i := range bits {

@@ -2,6 +2,7 @@ package rcbr
 
 import (
 	"rcbr/internal/heuristic"
+	"rcbr/internal/mesh"
 	"rcbr/internal/netproto"
 	"rcbr/internal/switchfab"
 )
@@ -17,19 +18,20 @@ import (
 // instrumented code pointing at the same strings forever.
 const (
 	// Switch fabric (owner: internal/switchfab).
-	MetricSwitchSetups       = switchfab.MetricSetups
-	MetricSwitchSetupRejects = switchfab.MetricSetupRejects
-	MetricSwitchTeardowns    = switchfab.MetricTeardowns
-	MetricSwitchRenegs       = switchfab.MetricRenegs
-	MetricSwitchGrants       = switchfab.MetricGrants
-	MetricSwitchDenials      = switchfab.MetricDenials
-	MetricSwitchResyncs      = switchfab.MetricResyncs
-	MetricSwitchDupDrops     = switchfab.MetricDupDrops
-	MetricSwitchRenegLatency = switchfab.MetricRenegLatency
-	MetricSwitchShardCount   = switchfab.MetricShardCount
-	MetricSwitchShardVCsMax  = switchfab.MetricShardVCsMax
-	MetricSwitchRMBatches    = switchfab.MetricRMBatches
-	MetricSwitchRMBatchCells = switchfab.MetricRMBatchCells
+	MetricSwitchSetups        = switchfab.MetricSetups
+	MetricSwitchSetupRejects  = switchfab.MetricSetupRejects
+	MetricSwitchTeardowns     = switchfab.MetricTeardowns
+	MetricSwitchRenegs        = switchfab.MetricRenegs
+	MetricSwitchGrants        = switchfab.MetricGrants
+	MetricSwitchPartialGrants = switchfab.MetricPartialGrants
+	MetricSwitchDenials       = switchfab.MetricDenials
+	MetricSwitchResyncs       = switchfab.MetricResyncs
+	MetricSwitchDupDrops      = switchfab.MetricDupDrops
+	MetricSwitchRenegLatency  = switchfab.MetricRenegLatency
+	MetricSwitchShardCount    = switchfab.MetricShardCount
+	MetricSwitchShardVCsMax   = switchfab.MetricShardVCsMax
+	MetricSwitchRMBatches     = switchfab.MetricRMBatches
+	MetricSwitchRMBatchCells  = switchfab.MetricRMBatchCells
 
 	// Signaling client (owner: internal/netproto).
 	MetricSignalClientRequests = netproto.MetricClientRequests
@@ -66,6 +68,17 @@ const (
 	MetricHeuristicLowCrossings  = heuristic.MetricLowCrossings
 	MetricHeuristicRateGauge     = heuristic.MetricRateGauge
 	MetricHeuristicOccupancy     = heuristic.MetricOccupancy
+
+	// Multi-hop mesh (owner: internal/mesh).
+	MetricMeshSetups        = mesh.MetricMeshSetups
+	MetricMeshSetupFails    = mesh.MetricMeshSetupFails
+	MetricMeshTeardowns     = mesh.MetricMeshTeardowns
+	MetricMeshRenegs        = mesh.MetricMeshRenegs
+	MetricMeshGrants        = mesh.MetricMeshGrants
+	MetricMeshPartialGrants = mesh.MetricMeshPartials
+	MetricMeshDenials       = mesh.MetricMeshDenials
+	MetricMeshRollbackHops  = mesh.MetricMeshRollbackHops
+	MetricMeshHopTimeouts   = mesh.MetricMeshHopTimeouts
 )
 
 // SwitchPortReservedGauge returns the per-port reserved-rate gauge name

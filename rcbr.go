@@ -21,7 +21,11 @@
 //   - Source: the per-source buffer abstraction at the network entry.
 //   - Switch + signaling: a software RCBR switch with ATM-style RM-cell
 //     renegotiation, servable over UDP (NewSwitch, NewSignalServer,
-//     DialSwitch).
+//     DialSwitchContext).
+//   - Mesh: a multi-hop network of switches joined by links with
+//     propagation delay (NewMesh); a Path renegotiates end to end and is
+//     granted the minimum along the path, with partial-grant rollback and
+//     per-hop timeouts (Section III-C).
 //   - Admission control: the Chernoff-based schemes of Section VI
 //     (perfect-knowledge, memoryless MBAC, memory-based MBAC).
 //
@@ -315,8 +319,13 @@ func WithSignalBatchWindow(d time.Duration) SignalClientOption {
 }
 
 // DialSwitch connects a signaling client to an RCBR switch daemon with a
-// fixed per-attempt timeout and retry budget — the legacy form of
-// DialSwitchContext.
+// fixed per-attempt timeout and retry budget.
+//
+// Deprecated: use DialSwitchContext with WithSignalTimeout and
+// WithSignalRetries; the positional form cannot honor a caller's context
+// during socket setup and cannot grow new options.
+//
+//rcbrlint:ignore ctxfirst kept for source compatibility; DialSwitchContext is the context-first form
 func DialSwitch(addr string, timeout time.Duration, retries int) (*SignalClient, error) {
 	return netproto.Dial(addr, netproto.WithTimeout(timeout), netproto.WithRetries(retries))
 }

@@ -55,12 +55,13 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	defer srv.Close()
 	go srv.Serve() //nolint:errcheck
-	cl, err := rcbr.DialSwitch(srv.Addr().String(), 200*time.Millisecond, 2)
+	ctx := context.Background()
+	cl, err := rcbr.DialSwitchContext(ctx, srv.Addr().String(),
+		rcbr.WithSignalTimeout(200*time.Millisecond), rcbr.WithSignalRetries(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	ctx := context.Background()
 	if err := cl.Setup(ctx, 1, 1, sch.Segments[0].Rate); err != nil {
 		t.Fatal(err)
 	}
