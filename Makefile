@@ -7,7 +7,7 @@ GO ?= go
 # Concurrency-sensitive packages run under the race detector in CI. The
 # trellis and experiments packages gained worker pools; their parallel and
 # sweep tests run raced via race-parallel below.
-RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./internal/mesh/ ./cmd/rcbrd/
+RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./internal/mesh/ ./internal/churn/ ./cmd/rcbrd/
 
 # Per-fuzz-target smoke budget. `go test -fuzz` takes one target per
 # invocation, hence the explicit list.

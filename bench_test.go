@@ -7,7 +7,9 @@ package rcbr_test
 import (
 	"context"
 	"os"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -637,5 +639,129 @@ func BenchmarkSwitchHandleRM(b *testing.B) {
 		if _, err := sw.HandleRM(h, down); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Call-scale churn: the setup path after the global-mutex removal ---
+
+// benchChurnSwitch is a fabric sized for setup benchmarks: capacity out of
+// the way so the measured cost is the signaling path, not blocking.
+func benchChurnSwitch(b *testing.B, opts ...switchfab.Option) *switchfab.Switch {
+	b.Helper()
+	sw := switchfab.New(opts...)
+	for p := 0; p < 64; p++ {
+		if err := sw.AddPort(p, 1e12); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sw
+}
+
+// BenchmarkSetupChurnSerial measures one setup/teardown pair on a single
+// goroutine — the per-call floor of the concurrent setup path.
+func BenchmarkSetupChurnSerial(b *testing.B) {
+	sw := benchChurnSwitch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := switchfab.MakeVCID(uint8(i>>16), uint16(i))
+		if err := sw.SetupID(id, i%64, 100e3); err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.TeardownID(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSetupChurnParallel runs setup/teardown pairs from concurrent
+// goroutines striped across ports and shards. Before the per-port admission
+// refactor every pair serialized on one switch-wide mutex; now contention is
+// only among pairs landing on the same port.
+func BenchmarkSetupChurnParallel(b *testing.B) {
+	sw := benchChurnSwitch(b, switchfab.WithShards(1024))
+	var next atomic.Uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			id := switchfab.VCID(i % (1 << 24))
+			if err := sw.SetupID(id, int(i)%64, 100e3); err != nil {
+				b.Fatal(err)
+			}
+			if err := sw.TeardownID(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSetupChurnMemoryAdmit is the serial pair with the live
+// memory-based MBAC in the loop: setup cost including the Chernoff admit
+// decision and the lifecycle bookkeeping.
+func BenchmarkSetupChurnMemoryAdmit(b *testing.B) {
+	ad, err := switchfab.NewMemoryAdmitter([]float64{64e3, 512e3, 1e6, 2e6, 4e6}, 1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := benchChurnSwitch(b, switchfab.WithAdmitter(ad))
+	rates := []float64{64e3, 512e3, 1e6, 2e6, 4e6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := switchfab.MakeVCID(uint8(i>>16), uint16(i))
+		if err := sw.SetupID(id, i%64, rates[i%len(rates)]); err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.TeardownID(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmitDecisionMemoryLive isolates the admit decision itself with
+// 10,000 calls of history in the pool — the O(levels) incremental estimate
+// that replaces Memory's O(calls) scan.
+func BenchmarkAdmitDecisionMemoryLive(b *testing.B) {
+	levels := []float64{64e3, 512e3, 1e6, 2e6, 4e6}
+	ctl, err := admission.NewLiveMemory(levels, 1e12, 1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		ctl.OnAdmit(i, float64(i)*0.01, levels[i%len(levels)])
+	}
+	now := 10_000 * 0.01
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.Admit(now+float64(i)*1e-6, 64e3)
+	}
+}
+
+// BenchmarkChurnBytesPerVC reports the retained switch-side bytes per
+// established VC (heap growth across b.N setups after forced collections,
+// divided by b.N) as a custom "bytes/vc" metric alongside the setup rate.
+func BenchmarkChurnBytesPerVC(b *testing.B) {
+	sw := benchChurnSwitch(b, switchfab.WithShards(1024))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := switchfab.VCID(i % (1 << 24))
+		if err := sw.SetupID(id, i%64, 100e3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	// Without this the switch is unreachable after its last loop use and the
+	// forced GC collects every VC before the measurement.
+	runtime.KeepAlive(sw)
+	if after.HeapInuse > before.HeapInuse {
+		b.ReportMetric(float64(after.HeapInuse-before.HeapInuse)/float64(min(b.N, 1<<24)), "bytes/vc")
 	}
 }

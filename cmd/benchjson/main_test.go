@@ -23,6 +23,25 @@ func TestParseResultLine(t *testing.T) {
 	}
 }
 
+// Custom b.ReportMetric units land in Extra, keyed by unit.
+func TestParseResultExtraMetrics(t *testing.T) {
+	r, ok := parseResult("BenchmarkChurnBytesPerVC-8 \t200000\t  331.1 ns/op\t  49.85 bytes/vc")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.NsPerOp != 331.1 || r.Extra["bytes/vc"] != 49.85 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("custom unit leaked into benchmem fields: %+v", r)
+	}
+	// Mixed with -benchmem output the standard fields still take their slots.
+	r, ok = parseResult("BenchmarkX-8 10 5.0 ns/op 16 B/op 2 allocs/op 49.85 bytes/vc")
+	if !ok || r.BytesPerOp != 16 || r.AllocsPerOp != 2 || r.Extra["bytes/vc"] != 49.85 {
+		t.Fatalf("parsed %+v", r)
+	}
+}
+
 func TestStripProcs(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkFig2OPT-8":              "BenchmarkFig2OPT",

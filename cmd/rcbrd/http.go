@@ -4,15 +4,26 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"rcbr/internal/metrics"
 	"rcbr/internal/switchfab"
 )
 
+// /vcs paging bounds: without explicit parameters the endpoint returns at
+// most defaultVCsLimit entries, and a client cannot ask for a page larger
+// than maxVCsLimit — a million-VC daemon must never materialize (let alone
+// serialize) its whole table because someone curled the endpoint.
+const (
+	defaultVCsLimit = 256
+	maxVCsLimit     = 10_000
+)
+
 // newHTTPHandler serves the daemon's observability endpoints:
 //
 //	GET /metrics       the registry snapshot (counters, gauges, histograms) as JSON
-//	GET /vcs           the established-VC table plus the retained event trace
+//	GET /vcs           one page of the established-VC table plus the event trace;
+//	                   ?limit= and ?offset= page through it in (VPI, VCI) order
 //	GET /debug/pprof/  the Go runtime profiles (only with withPprof)
 //
 // The first two are read-only views; neither perturbs the signaling path
@@ -32,7 +43,18 @@ func newHTTPHandler(reg *metrics.Registry, sw *switchfab.Switch, ring *metrics.E
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		resp := vcsResponse{VCs: sw.VCs()}
+		limit, err := queryInt(r, "limit", defaultVCsLimit)
+		if err != nil || limit < 0 || limit > maxVCsLimit {
+			http.Error(w, "limit must be an integer in [0, 10000]", http.StatusBadRequest)
+			return
+		}
+		offset, err := queryInt(r, "offset", 0)
+		if err != nil || offset < 0 {
+			http.Error(w, "offset must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		vcs, total := sw.VCsPage(offset, limit)
+		resp := vcsResponse{VCs: vcs, TotalVCs: total, Offset: offset, Limit: limit}
 		if ring != nil {
 			resp.TotalEvents = ring.Total()
 			resp.Events = ring.Events()
@@ -51,12 +73,25 @@ func newHTTPHandler(reg *metrics.Registry, sw *switchfab.Switch, ring *metrics.E
 	return mux
 }
 
-// vcsResponse is the /vcs payload: the live VC table and the recent per-VC
-// lifecycle events (oldest first).
+// vcsResponse is the /vcs payload: one page of the live VC table (with the
+// paging coordinates and the table's total size, so clients can iterate) and
+// the recent per-VC lifecycle events (oldest first).
 type vcsResponse struct {
 	VCs         []switchfab.VCInfo `json:"vcs"`
+	TotalVCs    int                `json:"total_vcs"`
+	Offset      int                `json:"offset"`
+	Limit       int                `json:"limit"`
 	TotalEvents uint64             `json:"total_events"`
 	Events      []metrics.Event    `json:"events,omitempty"`
+}
+
+// queryInt reads an integer query parameter, returning def when absent.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

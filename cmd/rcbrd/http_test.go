@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -139,10 +140,75 @@ func TestPprofGating(t *testing.T) {
 	}
 }
 
+// TestVCsPagination drives /vcs through its paging parameters: the default
+// page is bounded (a million-VC daemon must not serialize its whole table to
+// a bare GET), explicit limit/offset walk the table exactly once in (VPI,
+// VCI) order, and malformed or abusive parameters are rejected.
+func TestVCsPagination(t *testing.T) {
+	sw := switchfab.New(switchfab.WithShards(16))
+	if err := sw.AddPort(1, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	const n = 600 // more than the default page
+	for i := 0; i < n; i++ {
+		if err := sw.SetupID(switchfab.VCID(i), 1, 1e3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	web := httptest.NewServer(newHTTPHandler(nil, sw, nil, false))
+	defer web.Close()
+
+	var page vcsWire
+	getJSON(t, web.URL+"/vcs", &page)
+	if len(page.VCs) != defaultVCsLimit || page.TotalVCs != n || page.Limit != defaultVCsLimit {
+		t.Fatalf("default page: %d entries, total %d, limit %d", len(page.VCs), page.TotalVCs, page.Limit)
+	}
+
+	var all []switchfab.VCInfo
+	for offset := 0; offset < n; {
+		getJSON(t, fmt.Sprintf("%s/vcs?limit=250&offset=%d", web.URL, offset), &page)
+		if page.TotalVCs != n || page.Offset != offset {
+			t.Fatalf("page at %d: total %d offset %d", offset, page.TotalVCs, page.Offset)
+		}
+		if len(page.VCs) == 0 {
+			t.Fatalf("empty page at offset %d", offset)
+		}
+		all = append(all, page.VCs...)
+		offset += len(page.VCs)
+	}
+	if len(all) != n {
+		t.Fatalf("paged %d entries, want %d", len(all), n)
+	}
+	for i, vc := range all {
+		if int(vc.VCI) != i || vc.Rate != 1e3 {
+			t.Fatalf("entry %d = %+v", i, vc)
+		}
+	}
+
+	getJSON(t, web.URL+"/vcs?limit=0", &page)
+	if len(page.VCs) != 0 || page.TotalVCs != n {
+		t.Fatalf("limit=0 count query: %d entries, total %d", len(page.VCs), page.TotalVCs)
+	}
+
+	for _, q := range []string{"limit=abc", "limit=-1", "limit=100000", "offset=-2", "offset=x"} {
+		resp, err := http.Get(web.URL + "/vcs?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
 // vcsWire mirrors the /vcs response schema as an HTTP client decodes it
 // (events arrive with string kinds, so the production structs don't apply).
 type vcsWire struct {
 	VCs         []switchfab.VCInfo `json:"vcs"`
+	TotalVCs    int                `json:"total_vcs"`
+	Offset      int                `json:"offset"`
+	Limit       int                `json:"limit"`
 	TotalEvents uint64             `json:"total_events"`
 	Events      []struct {
 		Seq  uint64 `json:"seq"`

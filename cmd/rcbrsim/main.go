@@ -10,6 +10,7 @@
 //	rcbrsim fig9  [-frames N] [-seed S]            memory MBAC (extension)
 //	rcbrsim analysis                               eqs. (9)-(11) on Fig. 4 model
 //	rcbrsim signal [-n N] [-json out.json]         online sources over a live UDP switch
+//	rcbrsim churn  [-vcs N] [-admit memory|none]   call-scale churn against a live switch
 //	rcbrsim topology [-n N] [-preset P] [-csv F]   parking-lot mesh, utilization + fairness CSV
 //
 // Full-length runs (-frames 0 selects the whole two-hour trace) reproduce
@@ -74,6 +75,8 @@ func main() {
 		err = signalRun(args)
 	case "fabric":
 		err = fabricRun(args)
+	case "churn":
+		err = churnRun(args)
 	case "topology":
 		err = topologyRun(args)
 	case "-h", "--help", "help":
@@ -91,7 +94,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `rcbrsim regenerates the RCBR paper's figures.
-commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 datapath latency chernoff fit rvbr signal fabric topology
+commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 datapath latency chernoff fit rvbr signal fabric churn topology
 run "rcbrsim <command> -h" for per-command flags`)
 }
 

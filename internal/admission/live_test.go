@@ -1,0 +1,130 @@
+package admission
+
+import (
+	"math"
+	"testing"
+
+	"rcbr/internal/stats"
+)
+
+// TestLiveMemoryMatchesMemory drives the same random lifecycle sequence
+// through the O(calls) Memory controller and the O(levels) LiveMemory and
+// requires the pooled estimates — and therefore the admit decisions — to
+// agree at every probe point. This is the correctness claim behind running
+// the memory scheme in a live setup path: the incremental decomposition is
+// the same estimator, not an approximation of it.
+func TestLiveMemoryMatchesMemory(t *testing.T) {
+	levels := []float64{64e3, 512e3, 1e6, 2e6, 4e6}
+	const capacity, target = 50e6, 1e-3
+	ref, err := NewMemory(levels, capacity, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewLiveMemory(levels, capacity, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	present := make(map[int]float64) // id -> current rate
+	nextID := 0
+	now := 0.0
+	for step := 0; step < 5000; step++ {
+		now += rng.ExpFloat64(1)
+		switch op := rng.Intn(3); {
+		case op == 0 || len(present) == 0: // arrive
+			rate := levels[rng.Intn(len(levels))]
+			id := nextID
+			nextID++
+			ref.OnAdmit(id, now, rate)
+			live.OnAdmit(id, now, rate)
+			present[id] = rate
+		case op == 1: // renegotiate
+			id, old := anyCall(present)
+			newRate := levels[rng.Intn(len(levels))]
+			ref.OnRateChange(id, now, old, newRate)
+			live.OnRateChange(id, now, old, newRate)
+			present[id] = newRate
+		default: // depart
+			id, rate := anyCall(present)
+			ref.OnDepart(id, now, rate)
+			live.OnDepart(id, now, rate)
+			delete(present, id)
+		}
+		if live.Calls() != len(present) {
+			t.Fatalf("step %d: live tracks %d calls, want %d", step, live.Calls(), len(present))
+		}
+		if step%25 != 0 {
+			continue
+		}
+		probe := now + rng.ExpFloat64(1)
+		refDist, refOK := ref.estimate(probe)
+		liveDist, liveOK := live.dist(probe)
+		if refOK != liveOK {
+			t.Fatalf("step %d: estimate ok %v vs %v", step, refOK, liveOK)
+		}
+		if refOK {
+			for i := range refDist.P {
+				if math.Abs(refDist.P[i]-liveDist.P[i]) > 1e-9 {
+					t.Fatalf("step %d level %d: P %.12g vs %.12g", step, i, refDist.P[i], liveDist.P[i])
+				}
+			}
+		}
+		if refAdmit, liveAdmit := ref.Admit(probe, 0), live.Admit(probe, 0); refAdmit != liveAdmit {
+			t.Fatalf("step %d: Admit %v vs %v", step, refAdmit, liveAdmit)
+		}
+	}
+	// Drain completely: the live controller must return to an exactly empty
+	// pool, not one with residual dwell mass.
+	for id, rate := range present {
+		live.OnDepart(id, now, rate)
+	}
+	if live.Calls() != 0 {
+		t.Fatalf("calls after drain = %d", live.Calls())
+	}
+	if _, ok := live.dist(now + 10); ok {
+		t.Fatal("drained controller still reports dwell mass")
+	}
+	if !live.Admit(now+10, 64e3) {
+		t.Fatal("empty controller must admit")
+	}
+}
+
+// anyCall returns an arbitrary present call (map iteration order is fine —
+// both controllers see the same choice).
+func anyCall(present map[int]float64) (int, float64) {
+	for id, rate := range present {
+		return id, rate
+	}
+	panic("empty")
+}
+
+func TestLiveMemoryValidation(t *testing.T) {
+	if _, err := NewLiveMemory(nil, 1e6, 1e-3); err == nil {
+		t.Error("no levels accepted")
+	}
+	if _, err := NewLiveMemory([]float64{2, 1}, 1e6, 1e-3); err == nil {
+		t.Error("descending levels accepted")
+	}
+	if _, err := NewLiveMemory([]float64{1, 2}, 0, 1e-3); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewLiveMemory([]float64{1, 2}, 1e6, 1); err == nil {
+		t.Error("target 1 accepted")
+	}
+}
+
+// TestLiveMemoryIndex pins the level bucketing to stats.LevelHist.Index
+// semantics: nearest level, ties toward the lower one.
+func TestLiveMemoryIndex(t *testing.T) {
+	levels := []float64{100, 200, 400}
+	m, err := NewLiveMemory(levels, 1e6, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := stats.NewLevelHist(levels)
+	for _, rate := range []float64{0, 99, 100, 149, 150, 151, 200, 299, 300, 301, 400, 1e9} {
+		if got, want := m.index(rate), ref.Index(rate); got != want {
+			t.Errorf("index(%g) = %d, LevelHist.Index = %d", rate, got, want)
+		}
+	}
+}

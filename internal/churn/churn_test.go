@@ -1,0 +1,162 @@
+package churn
+
+import (
+	"testing"
+
+	"rcbr/internal/metrics"
+	"rcbr/internal/switchfab"
+)
+
+func newChurnSwitch(t *testing.T, ports int, capacity float64, opts ...switchfab.Option) *switchfab.Switch {
+	t.Helper()
+	s := switchfab.New(opts...)
+	for p := 0; p < ports; p++ {
+		if err := s.AddPort(p, capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestRunReachesTargetAndDrains is the generator's core contract: ramp to
+// the requested population, keep churning, and — with Drain set — hand the
+// fabric back empty with balanced books.
+func TestRunReachesTargetAndDrains(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newChurnSwitch(t, 8, 1e9, switchfab.WithMetrics(reg), switchfab.WithShards(64))
+	res, err := Run(Config{
+		Switch:      s,
+		Ports:       8,
+		TargetVCs:   5000,
+		Workers:     4,
+		ChurnEvents: 20000,
+		Seed:        3,
+		Registry:    reg,
+		Drain:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RampedVCs != 5000 {
+		t.Errorf("RampedVCs = %d, want 5000 (blocked=%d)", res.RampedVCs, res.Blocked)
+	}
+	if res.Setups == 0 || res.Teardowns == 0 || res.Renegs == 0 {
+		t.Errorf("no churn activity: %+v", res)
+	}
+	if res.Setups != res.Teardowns {
+		t.Errorf("books unbalanced after drain: %d setups, %d teardowns", res.Setups, res.Teardowns)
+	}
+	if n := s.VCCount(); n != 0 {
+		t.Errorf("VCCount = %d after drain", n)
+	}
+	for p := 0; p < 8; p++ {
+		reserved, _, err := s.PortLoad(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reserved != 0 {
+			t.Errorf("port %d reserved = %v after drain, want exactly 0", p, reserved)
+		}
+	}
+	if st := s.Stats(); st.ReservedClamps != 0 {
+		t.Errorf("ReservedClamps = %d", st.ReservedClamps)
+	}
+	if res.SetupMean <= 0 || res.AdmitMean < 0 {
+		t.Errorf("latency summary missing: setup %v admit %v", res.SetupMean, res.AdmitMean)
+	}
+	if res.BytesPerVC <= 0 {
+		t.Errorf("BytesPerVC = %v", res.BytesPerVC)
+	}
+}
+
+// TestRunUnderMemoryAdmitter exercises the full tentpole stack — generator,
+// concurrent setup path, and the live memory MBAC — and checks the admitter's
+// per-port books drain with the fabric.
+func TestRunUnderMemoryAdmitter(t *testing.T) {
+	classes := DefaultClasses()
+	ad, err := switchfab.NewMemoryAdmitter(LevelSet(classes), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ports = 4
+	s := newChurnSwitch(t, ports, 1e9, switchfab.WithAdmitter(ad), switchfab.WithShards(32))
+	res, err := Run(Config{
+		Switch:      s,
+		Ports:       ports,
+		Classes:     classes,
+		TargetVCs:   2000,
+		Workers:     4,
+		ChurnEvents: 10000,
+		Seed:        5,
+		Drain:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RampedVCs == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if s.VCCount() != 0 {
+		t.Errorf("VCCount = %d after drain", s.VCCount())
+	}
+	for p := 0; p < ports; p++ {
+		if calls := ad.PortCalls(p); calls != 0 {
+			t.Errorf("admitter tracks %d calls on drained port %d", calls, p)
+		}
+	}
+}
+
+func TestLevelSet(t *testing.T) {
+	got := LevelSet([]Class{
+		{Levels: []float64{2e6, 64e3}},
+		{Levels: []float64{64e3, 1e6}},
+	})
+	want := []float64{64e3, 1e6, 2e6}
+	if len(got) != len(want) {
+		t.Fatalf("LevelSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LevelSet = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := newChurnSwitch(t, 1, 1e9)
+	if _, err := Run(Config{Ports: 1, TargetVCs: 1}); err == nil {
+		t.Error("nil switch accepted")
+	}
+	if _, err := Run(Config{Switch: s, TargetVCs: 1}); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := Run(Config{Switch: s, Ports: 1}); err == nil {
+		t.Error("zero target accepted")
+	}
+	bad := []Class{{Name: "x", Weight: 1, MeanHold: 10}} // no levels
+	if _, err := Run(Config{Switch: s, Ports: 1, TargetVCs: 1, Classes: bad}); err == nil {
+		t.Error("class without levels accepted")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := metrics.HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{5, 3, 1, 1}, // last is overflow
+		Count:  10,
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 1}, {0.8, 2}, {0.9, 4}, {1, 4},
+	}
+	for _, c := range cases {
+		if got := HistQuantile(h, c.q); got != c.want {
+			t.Errorf("HistQuantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := HistQuantile(metrics.HistogramSnapshot{}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g", got)
+	}
+}

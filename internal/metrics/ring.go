@@ -33,6 +33,12 @@ const (
 	// These carry the hop's name in Event.Hop.
 	EventHopTimeout
 	EventHopRollback
+
+	// EventReservedClamp records a port's reserved figure going negative —
+	// floating-point residue left by mismatched setup/teardown orderings
+	// under churn — and being clamped back to zero. Event.Requested carries
+	// the (negative) residue that was discarded.
+	EventReservedClamp
 )
 
 var eventKindNames = [...]string{
@@ -50,6 +56,7 @@ var eventKindNames = [...]string{
 	EventPathTeardown:  "path-teardown",
 	EventHopTimeout:    "hop-timeout",
 	EventHopRollback:   "hop-rollback",
+	EventReservedClamp: "reserved-clamp",
 }
 
 // String returns the stable wire name of the kind ("setup",

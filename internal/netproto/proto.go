@@ -144,15 +144,25 @@ func EncodeSetup(reqID uint32, req SetupReq) []byte {
 	return AppendSetup(make([]byte, 0, headerLen+12), reqID, req)
 }
 
-// DecodeSetup parses a setup payload.
+// DecodeSetup parses a setup payload. The rate is validated here, at the
+// wire boundary: all 2^64 bit patterns are reachable from the network, and a
+// NaN rate would pass a bare negative check downstream only to poison the
+// port's reserved accounting forever (every later capacity comparison
+// involving NaN is false). Non-finite and negative rates fail with
+// switchfab.ErrInvalidRate so the reply carries the same wire code as an
+// in-process rejection.
 func DecodeSetup(p []byte) (SetupReq, error) {
 	if len(p) < 12 {
 		return SetupReq{}, ErrFrame
 	}
+	rate := math.Float64frombits(binary.BigEndian.Uint64(p[4:12]))
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+		return SetupReq{}, fmt.Errorf("%w: non-finite or negative setup rate", switchfab.ErrInvalidRate)
+	}
 	return SetupReq{
 		VCI:  binary.BigEndian.Uint16(p[0:2]),
 		Port: binary.BigEndian.Uint16(p[2:4]),
-		Rate: math.Float64frombits(binary.BigEndian.Uint64(p[4:12])),
+		Rate: rate,
 	}, nil
 }
 

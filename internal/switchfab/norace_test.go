@@ -1,0 +1,10 @@
+//go:build !race
+
+package switchfab
+
+// Full-size iteration counts for the churn tests when the race detector is
+// off: the drift test really does a million operations.
+const (
+	driftOps   = 1_000_000
+	stormIters = 3_000
+)

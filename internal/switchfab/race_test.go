@@ -1,0 +1,11 @@
+//go:build race
+
+package switchfab
+
+// The race detector multiplies memory and time per operation by an order of
+// magnitude; smaller counts keep `make race` quick while still interleaving
+// far past any realistic schedule.
+const (
+	driftOps   = 100_000
+	stormIters = 1_000
+)

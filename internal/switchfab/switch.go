@@ -20,12 +20,19 @@
 // Each port has its own mutex guarding its reservation and the rate (and RM
 // sequence state) of the VCs homed on it. A renegotiation therefore touches
 // exactly one shard lock (shared) and one port mutex. Lock order is always
-// shard before port, and never two shard locks at once (HandleRMBatch
-// applies its shard groups strictly sequentially). Setup and teardown take
-// the owning shard exclusively — which is what keeps teardown from freeing a
-// VC out from under an in-flight RM cell — and setups are additionally
-// serialized by a setup mutex so stateful Admitter implementations never run
-// concurrently. Activity counters are atomics.
+// shard before port, and never two shard locks and never two port locks at
+// once (HandleRMBatch applies its shard groups strictly sequentially).
+// Setup and teardown take the owning shard exclusively — which is what keeps
+// teardown from freeing a VC out from under an in-flight RM cell. Setups on
+// different ports run concurrently: the admission decision and the
+// reservation update happen under the one port's mutex, so admission state
+// shards with the fabric. A LifecycleAdmitter is invoked with the VC's port
+// mutex held — per-port serialization is the concurrency contract its
+// implementations rely on — while a legacy plain Admitter is additionally
+// serialized under an internal admit mutex (acquired after the port mutex,
+// released before any other lock is taken), preserving the old
+// never-concurrent contract those implementations were written against.
+// Activity counters are atomics.
 //
 // VC identifiers: the paper's switch is an ATM switch, so a VC is named by
 // the cell header's (VPI, VCI) pair — 24 bits, far past the 65,536 circuits
@@ -52,6 +59,7 @@ package switchfab
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -72,6 +80,14 @@ var (
 	ErrCapacity    = errors.New("switchfab: insufficient port capacity")
 	ErrInvalidRate = errors.New("switchfab: invalid rate")
 )
+
+// IsReject reports whether err is an ordinary call rejection — admission
+// control or insufficient capacity — as opposed to a caller mistake (bad
+// rate, unknown port, duplicate VC). Load generators count rejections and
+// carry on; everything else is a bug worth surfacing.
+func IsReject(err error) bool {
+	return errors.Is(err, ErrAdmission) || errors.Is(err, ErrCapacity)
+}
 
 // VCID names a virtual channel by its ATM (VPI, VCI) pair packed into 24
 // bits: VPI in bits 16-23, VCI in bits 0-15. The zero-VPI subspace is what
@@ -99,7 +115,10 @@ func (id VCID) String() string {
 
 // Admitter is the call-admission hook consulted at setup time (never during
 // renegotiation). Implementations may be stateful; the switch serializes
-// calls under its setup mutex.
+// calls under an internal admit mutex, so a plain Admitter never runs
+// concurrently with itself — but it also serializes setups across ports.
+// Implementations that want setups on different ports to proceed in
+// parallel should implement LifecycleAdmitter instead.
 type Admitter interface {
 	// AdmitCall reports whether a new call asking for rate bits/second may
 	// enter a port with the given reserved and capacity figures.
@@ -112,6 +131,30 @@ type AdmitterFunc func(port int, rate, reserved, capacity float64) bool
 // AdmitCall implements Admitter.
 func (f AdmitterFunc) AdmitCall(port int, rate, reserved, capacity float64) bool {
 	return f(port, rate, reserved, capacity)
+}
+
+// LifecycleAdmitter is a call-admission policy that additionally observes the
+// full life of every admitted call, mirroring admission.Controller: admit,
+// rate changes from granted renegotiations, and departure. It is the
+// interface a measurement-based scheme (the paper's Section VI) needs to
+// maintain per-call bandwidth history inside a live switch.
+//
+// Concurrency contract: the switch invokes every method with the affected
+// VC's port mutex held, so calls for the same port are serialized while
+// calls for different ports run concurrently. Implementations therefore
+// shard their state per port (see MemoryAdmitter) and must not call back
+// into the switch. Unlike a plain Admitter, no global admit mutex is taken —
+// this is what lets setups on different ports proceed in parallel.
+type LifecycleAdmitter interface {
+	Admitter
+	// OnAdmit notifies that VC id entered port at the given rate, after
+	// AdmitCall said yes and the reservation was applied.
+	OnAdmit(port int, id VCID, rate float64)
+	// OnRateChange notifies that VC id's reserved rate changed (a granted,
+	// possibly partial, renegotiation or resync).
+	OnRateChange(port int, id VCID, oldRate, newRate float64)
+	// OnDepart notifies that VC id left port, releasing rate.
+	OnDepart(port int, id VCID, rate float64)
 }
 
 // Stats is a snapshot of switch activity counters.
@@ -133,6 +176,11 @@ type Stats struct {
 	// carried.
 	Batches    int64
 	BatchCells int64
+	// ReservedClamps counts the times a port's reserved figure went negative
+	// (floating-point residue under churn) and was clamped back to zero.
+	// A nonzero value on a workload with exactly-representable rates is an
+	// accounting bug, not dust.
+	ReservedClamps int64
 }
 
 // statCounters is the live (atomic) form of Stats, safe to bump from
@@ -148,6 +196,7 @@ type statCounters struct {
 	dupDrops       atomic.Int64
 	batches        atomic.Int64
 	batchCells     atomic.Int64
+	reservedClamps atomic.Int64
 }
 
 type port struct {
@@ -189,19 +238,22 @@ type shard struct {
 // no-ops when no registry is configured, so the hot path records
 // unconditionally.
 type instruments struct {
-	setups        *metrics.Counter
-	setupRejects  *metrics.Counter
-	teardowns     *metrics.Counter
-	renegs        *metrics.Counter
-	grants        *metrics.Counter
-	denials       *metrics.Counter
-	partialGrants *metrics.Counter
-	resyncs       *metrics.Counter
-	dupDrops      *metrics.Counter
-	batches       *metrics.Counter
-	batchCells    *metrics.Counter
-	renegLatency  *metrics.Histogram
-	shardVCsMax   *metrics.Gauge
+	setups          *metrics.Counter
+	setupRejects    *metrics.Counter
+	teardowns       *metrics.Counter
+	renegs          *metrics.Counter
+	grants          *metrics.Counter
+	denials         *metrics.Counter
+	partialGrants   *metrics.Counter
+	resyncs         *metrics.Counter
+	dupDrops        *metrics.Counter
+	batches         *metrics.Counter
+	batchCells      *metrics.Counter
+	reservedClamped *metrics.Counter
+	renegLatency    *metrics.Histogram
+	setupLatency    *metrics.Histogram
+	admitLatency    *metrics.Histogram
+	shardVCsMax     *metrics.Gauge
 }
 
 // Metric and event names exposed by the switch.
@@ -227,6 +279,16 @@ const (
 	// and the RM messages they coalesced.
 	MetricRMBatches    = "switch.rm_batches"
 	MetricRMBatchCells = "switch.rm_batch_cells"
+	// MetricReservedClamped counts negative-residue clamps of a port's
+	// reserved figure (see Stats.ReservedClamps).
+	MetricReservedClamped = "switch.port.reserved_clamped"
+	// MetricSetupLatency observes the wall time of every SetupID call past
+	// argument validation — accept and reject alike — and MetricAdmitLatency
+	// the admission decision alone (recorded only when an Admitter is
+	// installed), so setup cost and admit-decision cost separate cleanly
+	// under churn.
+	MetricSetupLatency = "switch.setup_seconds"
+	MetricAdmitLatency = "switch.admit_seconds"
 )
 
 // PortReservedGauge returns the registry name of a port's reserved-rate
@@ -262,18 +324,24 @@ type Switch struct {
 	portMu sync.RWMutex
 	ports  map[int]*port
 
-	// setupMu serializes Setup calls so a stateful Admitter never runs
-	// concurrently with itself, exactly as under the old global lock. It is
-	// always acquired before any shard or port lock.
-	setupMu sync.Mutex
+	// admitMu serializes AdmitCall on a legacy plain Admitter so a stateful
+	// implementation never runs concurrently with itself, exactly as under
+	// the old global setup lock. It is acquired with the admitting port's
+	// mutex held and released before anything else, and is never taken when
+	// the admitter implements LifecycleAdmitter (whose contract is per-port
+	// serialization instead).
+	admitMu sync.Mutex
 	// maxShardVCs is the high-water occupancy of the fullest shard,
-	// guarded by setupMu (only setup grows a shard).
-	maxShardVCs int
+	// maintained by CAS — setups on different ports race to update it.
+	maxShardVCs atomic.Int64
 
 	vcCount atomic.Int64
 
 	admitter Admitter
-	stats    statCounters
+	// lifecycle is admitter's LifecycleAdmitter form, resolved once at
+	// construction so the setup path never repeats the type assertion.
+	lifecycle LifecycleAdmitter
+	stats     statCounters
 
 	reg    *metrics.Registry
 	ins    instruments
@@ -341,25 +409,39 @@ func New(opts ...Option) *Switch {
 	for i := range s.shards {
 		s.shards[i].vcs = make(map[VCID]*vcState)
 	}
+	s.lifecycle, _ = s.admitter.(LifecycleAdmitter)
 	if s.reg != nil {
 		s.ins = instruments{
-			setups:        s.reg.Counter(MetricSetups),
-			setupRejects:  s.reg.Counter(MetricSetupRejects),
-			teardowns:     s.reg.Counter(MetricTeardowns),
-			renegs:        s.reg.Counter(MetricRenegs),
-			grants:        s.reg.Counter(MetricGrants),
-			denials:       s.reg.Counter(MetricDenials),
-			partialGrants: s.reg.Counter(MetricPartialGrants),
-			resyncs:       s.reg.Counter(MetricResyncs),
-			dupDrops:      s.reg.Counter(MetricDupDrops),
-			batches:       s.reg.Counter(MetricRMBatches),
-			batchCells:    s.reg.Counter(MetricRMBatchCells),
-			renegLatency:  s.reg.Histogram(MetricRenegLatency, metrics.DefBuckets),
-			shardVCsMax:   s.reg.Gauge(MetricShardVCsMax),
+			setups:          s.reg.Counter(MetricSetups),
+			setupRejects:    s.reg.Counter(MetricSetupRejects),
+			teardowns:       s.reg.Counter(MetricTeardowns),
+			renegs:          s.reg.Counter(MetricRenegs),
+			grants:          s.reg.Counter(MetricGrants),
+			denials:         s.reg.Counter(MetricDenials),
+			partialGrants:   s.reg.Counter(MetricPartialGrants),
+			resyncs:         s.reg.Counter(MetricResyncs),
+			dupDrops:        s.reg.Counter(MetricDupDrops),
+			batches:         s.reg.Counter(MetricRMBatches),
+			batchCells:      s.reg.Counter(MetricRMBatchCells),
+			reservedClamped: s.reg.Counter(MetricReservedClamped),
+			renegLatency:    s.reg.Histogram(MetricRenegLatency, metrics.DefBuckets),
+			setupLatency:    s.reg.Histogram(MetricSetupLatency, metrics.DefBuckets),
+			admitLatency:    s.reg.Histogram(MetricAdmitLatency, metrics.DefBuckets),
+			shardVCsMax:     s.reg.Gauge(MetricShardVCsMax),
 		}
 		s.reg.Gauge(MetricShardCount).Set(float64(len(s.shards)))
 	}
 	return s
+}
+
+// validRate reports whether rate is usable as a reservation figure: finite
+// and non-negative. The comparison form matters: NaN fails every ordered
+// comparison, so the naive `rate < 0` rejection lets NaN through — and one
+// NaN added into a port's reserved figure makes every later capacity
+// comparison false, overcommitting the port forever. +Inf is rejected
+// explicitly for the same reason.
+func validRate(rate float64) bool {
+	return rate >= 0 && !math.IsInf(rate, 1)
 }
 
 // ShardCount returns the configured number of VC-table shards.
@@ -380,8 +462,10 @@ func (s *Switch) port(id int) *port {
 }
 
 // AddPort registers an output port with the given capacity in bits/second.
+// The capacity must be finite and positive (NaN would make every later
+// capacity comparison on the port false).
 func (s *Switch) AddPort(id int, capacity float64) error {
-	if capacity <= 0 {
+	if math.IsNaN(capacity) || math.IsInf(capacity, 0) || capacity <= 0 {
 		return fmt.Errorf("%w: capacity %g", ErrInvalidRate, capacity)
 	}
 	s.portMu.Lock()
@@ -400,9 +484,17 @@ func (s *Switch) AddPort(id int, capacity float64) error {
 }
 
 // setReserved updates a port's reservation and its mirrored gauge together.
-// The port's mutex must be held.
-func (p *port) setReserved(v float64) {
+// The port's mutex must be held. A negative residue — floating-point dust
+// left by mismatched add/subtract orderings under churn, or a genuine
+// accounting leak — is clamped back to zero, but no longer silently: the
+// clamp is counted on switch.port.reserved_clamped and recorded as a
+// reserved-clamp event carrying the discarded residue, so drift is visible
+// instead of absorbed.
+func (s *Switch) setReserved(p *port, v float64) {
 	if v < 0 {
+		s.stats.reservedClamps.Add(1)
+		s.ins.reservedClamped.Inc()
+		s.events.Record(metrics.Event{Kind: metrics.EventReservedClamp, Port: p.id, Requested: v})
 		v = 0
 	}
 	p.reserved = v
@@ -416,13 +508,16 @@ func (s *Switch) Setup(vci uint16, portID int, rate float64) error {
 	return s.SetupID(VCID(vci), portID, rate)
 }
 
-// SetupID is Setup addressing the full (VPI, VCI) space.
+// SetupID is Setup addressing the full (VPI, VCI) space. Setups on
+// different ports run concurrently: the only locks taken are the VC's shard
+// (exclusive) and the target port's mutex, in that order, with the admission
+// decision and the reservation applied under the same port-mutex hold so no
+// concurrent setup can invalidate the decision.
 func (s *Switch) SetupID(id VCID, portID int, rate float64) error {
-	if rate < 0 {
+	if !validRate(rate) {
 		return fmt.Errorf("%w: %g", ErrInvalidRate, rate)
 	}
-	s.setupMu.Lock()
-	defer s.setupMu.Unlock()
+	defer s.observeSetupLatency(s.setupStart())
 	p := s.port(portID)
 	if p == nil {
 		return fmt.Errorf("%w: %d", ErrNoPort, portID)
@@ -440,21 +535,80 @@ func (s *Switch) SetupID(id VCID, portID int, rate float64) error {
 		return fmt.Errorf("%w: port %d has %g of %g reserved",
 			ErrCapacity, portID, p.reserved, p.capacity)
 	}
-	if s.admitter != nil && !s.admitter.AdmitCall(portID, rate, p.reserved, p.capacity) {
+	if s.admitter != nil && !s.admitCall(portID, rate, p.reserved, p.capacity) {
 		s.rejectSetup(id, portID, rate)
 		return ErrAdmission
 	}
-	p.setReserved(p.reserved + rate)
+	s.setReserved(p, p.reserved+rate)
 	sh.vcs[id] = &vcState{p: p, rate: rate}
-	s.vcCount.Add(1)
-	if n := len(sh.vcs); n > s.maxShardVCs {
-		s.maxShardVCs = n
-		s.ins.shardVCsMax.Set(float64(n))
+	if s.lifecycle != nil {
+		s.lifecycle.OnAdmit(portID, id, rate)
 	}
+	s.vcCount.Add(1)
+	s.noteShardSize(len(sh.vcs))
 	s.stats.setups.Add(1)
 	s.ins.setups.Inc()
 	s.events.Record(metrics.Event{Kind: metrics.EventSetup, VPI: id.VPI(), VCI: id.VCI(), Port: portID, Rate: rate})
 	return nil
+}
+
+// admitCall runs the admission decision with the admitting port's mutex
+// held, timing it into switch.admit_seconds. A LifecycleAdmitter relies on
+// exactly that per-port serialization; a legacy plain Admitter is
+// additionally serialized under admitMu so stateful implementations keep
+// the old never-concurrent contract.
+func (s *Switch) admitCall(portID int, rate, reserved, capacity float64) bool {
+	start := time.Time{}
+	if s.ins.admitLatency != nil {
+		start = time.Now()
+	}
+	var ok bool
+	if s.lifecycle != nil {
+		ok = s.admitter.AdmitCall(portID, rate, reserved, capacity)
+	} else {
+		s.admitMu.Lock()
+		ok = s.admitter.AdmitCall(portID, rate, reserved, capacity)
+		s.admitMu.Unlock()
+	}
+	if !start.IsZero() {
+		s.ins.admitLatency.ObserveSince(start)
+	}
+	return ok
+}
+
+// noteShardSize CAS-raises the fullest-shard high-water mark. Called with
+// the grown shard's lock held, so n is that shard's exact size.
+func (s *Switch) noteShardSize(n int) {
+	v := int64(n)
+	for {
+		cur := s.maxShardVCs.Load()
+		if v <= cur {
+			return
+		}
+		if s.maxShardVCs.CompareAndSwap(cur, v) {
+			s.ins.shardVCsMax.Set(float64(v))
+			return
+		}
+	}
+}
+
+// setupStart returns the setup-latency timer start, or the zero time when
+// the histogram is disabled (so uninstrumented switches skip clock reads).
+func (s *Switch) setupStart() time.Time {
+	if s.ins.setupLatency == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeSetupLatency records one setup-latency observation; like the
+// renegotiation histogram it covers every path past argument validation —
+// accept, capacity reject, and admission reject alike.
+func (s *Switch) observeSetupLatency(start time.Time) {
+	if s.ins.setupLatency == nil || start.IsZero() {
+		return
+	}
+	s.ins.setupLatency.ObserveSince(start)
 }
 
 func (s *Switch) rejectSetup(id VCID, portID int, rate float64) {
@@ -483,7 +637,10 @@ func (s *Switch) TeardownID(id VCID) error {
 	}
 	p := vc.p
 	p.mu.Lock()
-	p.setReserved(p.reserved - vc.rate)
+	s.setReserved(p, p.reserved-vc.rate)
+	if s.lifecycle != nil {
+		s.lifecycle.OnDepart(p.id, id, vc.rate)
+	}
 	p.mu.Unlock()
 	delete(sh.vcs, id)
 	s.vcCount.Add(-1)
@@ -503,7 +660,7 @@ func (s *Switch) Renegotiate(vci uint16, newRate float64) (granted float64, ok b
 
 // RenegotiateID is Renegotiate addressing the full (VPI, VCI) space.
 func (s *Switch) RenegotiateID(id VCID, newRate float64) (granted float64, ok bool, err error) {
-	if newRate < 0 {
+	if !validRate(newRate) {
 		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, newRate)
 	}
 	defer s.observeRenegLatency(s.renegStart())
@@ -537,7 +694,7 @@ func (s *Switch) RenegotiateBest(vci uint16, target float64) (granted float64, f
 // a VC left at its old rate by a zero-headroom port reports full=false and
 // is accounted as a denial.
 func (s *Switch) RenegotiateBestID(id VCID, target float64) (granted float64, full bool, err error) {
-	if target < 0 {
+	if !validRate(target) {
 		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, target)
 	}
 	defer s.observeRenegLatency(s.renegStart())
@@ -614,8 +771,12 @@ func (s *Switch) applyRate(id VCID, vc *vcState, p *port, newRate, requested flo
 	s.stats.renegotiations.Add(1)
 	s.ins.renegs.Inc()
 	if p.reserved-vc.rate+newRate <= p.capacity {
-		p.setReserved(p.reserved + newRate - vc.rate)
+		old := vc.rate
+		s.setReserved(p, p.reserved+newRate-old)
 		vc.rate = newRate
+		if s.lifecycle != nil && newRate != old {
+			s.lifecycle.OnRateChange(p.id, id, old, newRate)
+		}
 		s.ins.grants.Inc()
 		ev := metrics.Event{
 			Kind: grantKind, VPI: id.VPI(), VCI: id.VCI(), Port: p.id, Rate: newRate,
@@ -653,7 +814,7 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	if m.Backward || m.Response {
 		return cell.RM{}, fmt.Errorf("switchfab: HandleRM on a backward/response cell")
 	}
-	if m.ER < 0 {
+	if !validRate(m.ER) {
 		return cell.RM{}, fmt.Errorf("%w: %g", ErrInvalidRate, m.ER)
 	}
 	defer s.observeRenegLatency(s.renegStart())
@@ -740,7 +901,7 @@ const batchChunk = 64
 //
 // Per-item semantics are exactly HandleRM's (sequence duplicate-drop,
 // resync, deny accounting, events), with one wire-shaped difference:
-// invalid items (backward/response set, negative ER) and unknown VCs
+// invalid items (backward/response set, non-finite or negative ER) and unknown VCs
 // produce no reply entry instead of an error, so callers match replies to
 // requests by (VPI, VCI) and treat a missing entry as a per-VC failure to
 // resolve on the singleton path. The renegotiation-latency histogram
@@ -773,7 +934,7 @@ func (s *Switch) HandleRMBatch(items []RMItem, out []RMItem) []RMItem {
 				}
 				pending &^= 1 << uint(j)
 				m := chunk[j].M
-				if m.Backward || m.Response || m.ER < 0 {
+				if m.Backward || m.Response || !validRate(m.ER) {
 					continue
 				}
 				id := MakeVCID(chunk[j].VPI, chunk[j].VCI)
@@ -832,9 +993,10 @@ type VCInfo struct {
 	Rate float64 `json:"rate_bps"`
 }
 
-// VCs returns every established VC sorted by (VPI, VCI): the backing data
-// of the daemon's /vcs endpoint. Shards are visited one at a time, so the
-// listing never holds more than one shard lock.
+// VCs returns every established VC sorted by (VPI, VCI). Shards are visited
+// one at a time, so the listing never holds more than one shard lock — but
+// the result materializes the whole table, which at million-VC populations
+// is memory-hostile; servers should page through VCsPage instead.
 func (s *Switch) VCs() []VCInfo {
 	out := make([]VCInfo, 0, s.VCCount())
 	for i := range s.shards {
@@ -857,6 +1019,101 @@ func (s *Switch) VCs() []VCInfo {
 	return out
 }
 
+// vcPageEntry pairs a VCInfo with its packed identifier, the page sort key
+// ((VPI, VCI) order is exactly VCID numeric order).
+type vcPageEntry struct {
+	id   VCID
+	info VCInfo
+}
+
+// VCsPage returns one page of the established-VC table in (VPI, VCI) order —
+// up to limit entries starting offset entries in — plus the total VC count
+// at scan time. limit <= 0 returns an empty page (with the total, so callers
+// can size their paging); a negative offset reads from the start.
+//
+// Unlike VCs, memory is bounded by the page, not the table: shards are
+// visited one at a time under a shared lock and entries stream through a
+// max-heap of offset+limit elements, so a million-VC switch serves a
+// 256-entry page in O(offset+limit) space. The table can churn between
+// shard visits, so under concurrent setup/teardown a page is a consistent
+// snapshot per shard, not of the whole switch — same as VCs.
+func (s *Switch) VCsPage(offset, limit int) ([]VCInfo, int) {
+	total := s.VCCount()
+	if offset < 0 {
+		offset = 0
+	}
+	if limit <= 0 {
+		return nil, total
+	}
+	keep := offset + limit
+	if keep < 0 { // offset+limit overflowed int
+		keep = math.MaxInt
+	}
+	// h is a max-heap on id holding the smallest keep identifiers seen.
+	h := make([]vcPageEntry, 0, min(keep, total+1))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, vc := range sh.vcs {
+			if len(h) == keep && id >= h[0].id {
+				continue
+			}
+			vc.p.mu.Lock()
+			rate := vc.rate
+			vc.p.mu.Unlock()
+			e := vcPageEntry{id: id, info: VCInfo{VPI: id.VPI(), VCI: id.VCI(), Port: vc.p.id, Rate: rate}}
+			if len(h) < keep {
+				h = append(h, e)
+				vcPageUp(h, len(h)-1)
+			} else {
+				h[0] = e
+				vcPageDown(h, 0)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if offset >= len(h) {
+		return nil, total
+	}
+	sort.Slice(h, func(i, j int) bool { return h[i].id < h[j].id })
+	out := make([]VCInfo, 0, len(h)-offset)
+	for _, e := range h[offset:] {
+		out = append(out, e.info)
+	}
+	return out, total
+}
+
+// vcPageUp restores the max-heap property after appending at index i.
+func vcPageUp(h []vcPageEntry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].id >= h[i].id {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// vcPageDown restores the max-heap property after replacing the root.
+func vcPageDown(h []vcPageEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h) && h[l].id > h[largest].id {
+			largest = l
+		}
+		if r < len(h) && h[r].id > h[largest].id {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
 // Stats returns a snapshot of the activity counters.
 func (s *Switch) Stats() Stats {
 	return Stats{
@@ -870,5 +1127,6 @@ func (s *Switch) Stats() Stats {
 		DupDrops:       s.stats.dupDrops.Load(),
 		Batches:        s.stats.batches.Load(),
 		BatchCells:     s.stats.batchCells.Load(),
+		ReservedClamps: s.stats.reservedClamps.Load(),
 	}
 }

@@ -32,6 +32,9 @@ const (
 	MetricSwitchShardVCsMax   = switchfab.MetricShardVCsMax
 	MetricSwitchRMBatches     = switchfab.MetricRMBatches
 	MetricSwitchRMBatchCells  = switchfab.MetricRMBatchCells
+	MetricSwitchClamps        = switchfab.MetricReservedClamped
+	MetricSwitchSetupLatency  = switchfab.MetricSetupLatency
+	MetricSwitchAdmitLatency  = switchfab.MetricAdmitLatency
 
 	// Signaling client (owner: internal/netproto).
 	MetricSignalClientRequests = netproto.MetricClientRequests

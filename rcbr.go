@@ -119,6 +119,13 @@ type (
 	SwitchOption = switchfab.Option
 	// Admitter is the call-admission hook consulted at setup time.
 	Admitter = switchfab.Admitter
+	// LifecycleAdmitter extends Admitter with rate-change and departure
+	// notifications so a stateful policy (e.g. the live memory-based
+	// MBAC) can track the calls it admitted.
+	LifecycleAdmitter = switchfab.LifecycleAdmitter
+	// SwitchMemoryAdmitter runs the memory-based MBAC live inside a
+	// Switch, sharding admission state per output port.
+	SwitchMemoryAdmitter = switchfab.MemoryAdmitter
 	// VCInfo describes one established VC on a Switch.
 	VCInfo = switchfab.VCInfo
 	// SignalServer serves RCBR signaling over UDP.
@@ -358,6 +365,15 @@ func NewMemorylessAdmission(levels []float64, capacity, targetFailure float64) (
 // NewMemoryAdmission returns the history-accumulating MBAC of Section VI.
 func NewMemoryAdmission(levels []float64, capacity, targetFailure float64) (AdmissionController, error) {
 	return admission.NewMemory(levels, capacity, targetFailure)
+}
+
+// NewSwitchMemoryAdmitter returns the live, per-port-sharded form of the
+// memory-based MBAC for installing into a Switch via WithAdmitter. Unlike
+// NewMemoryAdmission it needs no capacity up front — each port's controller
+// adopts that port's capacity on its first admission decision — and it keeps
+// its call histories current from the switch's own lifecycle notifications.
+func NewSwitchMemoryAdmitter(levels []float64, targetFailure float64) (*SwitchMemoryAdmitter, error) {
+	return switchfab.NewMemoryAdmitter(levels, targetFailure)
 }
 
 // ScheduleDescriptor converts a schedule into its per-call bandwidth

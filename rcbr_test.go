@@ -239,3 +239,39 @@ func TestFacadeExtensions(t *testing.T) {
 		t.Fatalf("model classes %v", model.ClassMeans)
 	}
 }
+
+// TestSwitchMemoryAdmitter wires the live memory-based MBAC into a switch
+// through the facade: a LifecycleAdmitter installed with WithAdmitter sees
+// setups and teardowns, and IsCapacityError still collapses its denials.
+func TestSwitchMemoryAdmitter(t *testing.T) {
+	adm, err := rcbr.NewSwitchMemoryAdmitter([]float64{64e3, 4e6}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ rcbr.LifecycleAdmitter = adm // the switch gets lifecycle callbacks
+
+	sw := rcbr.NewSwitch(nil, rcbr.WithAdmitter(adm), rcbr.WithSwitchShards(4))
+	if err := sw.AddPort(1, 10e6); err != nil {
+		t.Fatal(err)
+	}
+	for vci := uint16(1); vci <= 2; vci++ {
+		if err := sw.Setup(vci, 1, 4e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := adm.PortCalls(1); got != 2 {
+		t.Fatalf("admitter tracks %d calls, want 2", got)
+	}
+	time.Sleep(time.Millisecond) // accrue dwell history at 4 Mb/s per call
+	if err := sw.Setup(3, 1, 64e3); !rcbr.IsCapacityError(err) {
+		t.Fatalf("third call: err = %v, want an admission denial", err)
+	}
+	for vci := uint16(1); vci <= 2; vci++ {
+		if err := sw.Teardown(vci); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := adm.PortCalls(1); got != 0 {
+		t.Fatalf("admitter tracks %d calls after drain, want 0", got)
+	}
+}
