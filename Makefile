@@ -9,6 +9,12 @@ GO ?= go
 # sweep tests run raced via race-parallel below.
 RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./internal/mesh/ ./internal/churn/ ./cmd/rcbrd/
 
+# Packages whose worker-pool tests run raced through the race-parallel
+# target (each with its own -run filter, so they get explicit recipe lines).
+# TestMakefileRaceParallelSync asserts the recipe stays in sync with this
+# list — update both together.
+RACE_PARALLEL_PKGS := ./internal/trellis/ ./internal/experiments/ ./internal/switchfab/
+
 # Per-fuzz-target smoke budget. `go test -fuzz` takes one target per
 # invocation, hence the explicit list.
 FUZZTIME ?= 10s
@@ -17,12 +23,20 @@ FUZZTIME ?= 10s
 
 all: lint test race
 
-# lint runs the repository's own analyzer suite (cmd/rcbrlint) plus go vet.
-# Staticcheck and govulncheck run in CI at pinned versions; run them locally
-# with `make lint-extra` if they are installed.
+# lint runs the repository's own nine-analyzer suite (cmd/rcbrlint) plus go
+# vet. Staticcheck and govulncheck run in CI at pinned versions; run them
+# locally with `make lint-extra` if they are installed.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rcbrlint ./...
+
+# lint-report is the CI form of lint: same required gate, but the analyzer
+# findings land in rcbrlint-report.json (always written, "[]" when clean) so
+# CI can archive the report as an artifact even on failure.
+.PHONY: lint-report
+lint-report:
+	$(GO) vet ./...
+	$(GO) run ./cmd/rcbrlint -json ./... > rcbrlint-report.json || (cat rcbrlint-report.json >&2; exit 1)
 
 .PHONY: lint-extra
 lint-extra: lint
@@ -54,6 +68,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzServerHandle$$' -fuzztime $(FUZZTIME) ./internal/netproto/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzIgnoreDirective$$' -fuzztime $(FUZZTIME) ./internal/analysis/
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSignalThroughput -benchtime=1x ./internal/netproto/

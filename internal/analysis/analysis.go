@@ -1,11 +1,12 @@
 // Package analysis is a small, dependency-free static-analysis framework
-// for the rcbr repository, plus the five project-specific analyzers that
-// cmd/rcbrlint runs over it. The PR 1-2 signaling plane rests on
+// for the rcbr repository, plus the nine project-specific analyzers that
+// cmd/rcbrlint runs over it. The signaling plane and switch fabric rest on
 // conventions the compiler cannot see — metric names must be registered
-// constants, fabric locks must not be held across blocking operations,
-// sentinel errors must survive the UDP wire via errors.Is, exported
-// signaling entry points must thread a context — and at production scale
-// those conventions only hold if a machine checks them. The analyzers are:
+// constants, fabric locks must not be held across blocking operations and
+// must follow the shard→port hierarchy, hot paths must stay at 0
+// allocs/op, wire-decoded rates must be validated finite before they reach
+// the books — and at production scale those conventions only hold if a
+// machine checks them. The style analyzers are:
 //
 //   - metricname: metric strings passed to the metrics registry are
 //     package-level Metric* constants (or *Counter/*Gauge/*Histogram
@@ -17,6 +18,20 @@
 //   - sentinelcmp: sentinel errors are matched with errors.Is, never ==.
 //   - eventkind: every EventKind constant is named and emitted, and every
 //     histogram instrument a package creates is observed by that package.
+//
+// And the invariant-grade analyzers, which reason through the package call
+// graph (see CallGraph and Facts):
+//
+//   - lockorder: mutex acquisitions respect the ranked shard→port
+//     hierarchy, never hold two ranked same-class locks, and form no
+//     acquisition-order cycles — including through direct callees.
+//   - zeroalloc: functions annotated //rcbr:zeroalloc avoid
+//     allocation-inducing constructs outside cold error paths.
+//   - atomicmix: a struct field accessed via sync/atomic anywhere is never
+//     read or written plainly elsewhere.
+//   - ratetaint: float64 values originating from netproto decodes or
+//     exported fabric entry points pass finite-rate validation before
+//     reaching reserved accounting or admission.
 //
 // The framework deliberately mirrors the shape of
 // golang.org/x/tools/go/analysis (Analyzer, Pass, testdata-driven tests)
@@ -31,11 +46,13 @@
 //
 // comment on the flagged line or the line above it (typically the last
 // line of a declaration's doc comment). The reason is mandatory prose for
-// the reviewer; rcbrlint treats a bare directive as malformed and keeps
-// the finding.
+// the reviewer; a bare directive, or one naming an unknown analyzer, is
+// itself reported as a finding (attributed to "rcbrlint") and suppresses
+// nothing.
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -169,7 +186,7 @@ func filterDiagnostics(repo *Repo, analyzers []*Analyzer, diags []Diagnostic) []
 	for _, a := range analyzers {
 		testsOK[a.Name] = a.Tests
 	}
-	ignores := collectIgnores(repo)
+	ignores, bad := collectIgnores(repo)
 	out := diags[:0]
 	for _, d := range diags {
 		if strings.HasSuffix(d.Pos.Filename, "_test.go") && !testsOK[d.Analyzer] {
@@ -180,12 +197,20 @@ func filterDiagnostics(repo *Repo, analyzers []*Analyzer, diags []Diagnostic) []
 		}
 		out = append(out, d)
 	}
-	return out
+	// Directive problems are findings in their own right: they bypass the
+	// test-file policy and cannot themselves be suppressed.
+	return append(out, bad...)
 }
+
+// driverName attributes diagnostics produced by the driver itself —
+// malformed or unknown-analyzer ignore directives — rather than by any one
+// analyzer.
+const driverName = "rcbrlint"
 
 // ignoreDirective is one parsed //rcbrlint:ignore comment.
 type ignoreDirective struct {
 	analyzer string
+	reason   string
 }
 
 // ignoreSet indexes directives by file and line.
@@ -193,32 +218,70 @@ type ignoreSet map[string]map[int]ignoreDirective
 
 const ignorePrefix = "//rcbrlint:ignore"
 
+// parseIgnoreDirective parses one comment as an //rcbrlint:ignore
+// directive. match is false when the comment is not an ignore directive at
+// all; err describes a directive that parses as one but is unusable — a
+// mangled prefix, a missing analyzer name, or a missing reason.
+func parseIgnoreDirective(text string) (dir ignoreDirective, match bool, err error) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return ignoreDirective{}, false, nil
+	}
+	rest := strings.TrimPrefix(text, ignorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return ignoreDirective{}, true, errors.New("malformed //rcbrlint:ignore directive: separate the analyzer name with a space")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ignoreDirective{}, true, errors.New("//rcbrlint:ignore needs an analyzer name and a reason")
+	}
+	if len(fields) == 1 {
+		return ignoreDirective{}, true, fmt.Errorf("//rcbrlint:ignore %s has no reason; explain the suppression for reviewers", fields[0])
+	}
+	return ignoreDirective{analyzer: fields[0], reason: strings.Join(fields[1:], " ")}, true, nil
+}
+
 // collectIgnores parses every //rcbrlint:ignore directive in the repo. A
-// directive must name an analyzer and give a reason; malformed directives
-// are ignored (so the finding they meant to suppress still surfaces).
-func collectIgnores(repo *Repo) ignoreSet {
+// well-formed directive must name a known analyzer (or "all") and give a
+// reason; anything else suppresses nothing and comes back as a driver
+// diagnostic instead, so the lint run says what went wrong rather than
+// silently surfacing the finding the directive meant to hide.
+func collectIgnores(repo *Repo) (ignoreSet, []Diagnostic) {
+	known := map[string]bool{"all": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	set := make(ignoreSet)
+	var bad []Diagnostic
 	for _, pkg := range repo.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, ignorePrefix) {
+					dir, match, err := parseIgnoreDirective(c.Text)
+					if !match {
 						continue
 					}
-					fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
-					if len(fields) < 2 {
-						continue // no analyzer or no reason: malformed
-					}
 					pos := repo.Fset.Position(c.Pos())
+					if err != nil {
+						bad = append(bad, Diagnostic{Pos: pos, Analyzer: driverName, Message: err.Error()})
+						continue
+					}
+					if !known[dir.analyzer] {
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: driverName,
+							Message:  fmt.Sprintf("//rcbrlint:ignore names unknown analyzer %q", dir.analyzer),
+						})
+						continue
+					}
 					if set[pos.Filename] == nil {
 						set[pos.Filename] = make(map[int]ignoreDirective)
 					}
-					set[pos.Filename][pos.Line] = ignoreDirective{analyzer: fields[0]}
+					set[pos.Filename][pos.Line] = dir
 				}
 			}
 		}
 	}
-	return set
+	return set, bad
 }
 
 // matches reports whether d is suppressed by a directive on its line or

@@ -4,10 +4,14 @@ package analysis
 // it. The order is stable so diagnostics sort deterministically.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix,
 		CtxFirst,
 		EventKind,
+		LockOrder,
 		LockScope,
 		MetricName,
+		RateTaint,
 		SentinelCmp,
+		ZeroAlloc,
 	}
 }

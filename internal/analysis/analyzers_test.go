@@ -30,3 +30,28 @@ func TestSentinelCmp(t *testing.T) {
 func TestEventKind(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.EventKind, "eventkind")
 }
+
+// TestLockOrder covers the ranked shard→port hierarchy, callee
+// propagation, self-deadlocks, unranked cycles, and line-scoped ignores.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder, "lockorder")
+}
+
+// TestZeroAlloc covers the //rcbr:zeroalloc annotation: every
+// allocation-inducing construct class, the cold-error-path exemption, and
+// line-scoped ignores.
+func TestZeroAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ZeroAlloc, "zeroalloc")
+}
+
+// TestAtomicMix covers mixed atomic/plain access to one field, including
+// across packages, and line-scoped ignores.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicMix, "atomicmix", "atomicmix/sub")
+}
+
+// TestRateTaint covers decode- and entry-point-originated taint, sanitizer
+// calls, sink-reaching callees, and line-scoped ignores.
+func TestRateTaint(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RateTaint, "ratetaint")
+}

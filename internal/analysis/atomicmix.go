@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix enforces atomic discipline: a struct field that any code in the
+// repository accesses through sync/atomic's package functions (the
+// atomic.AddInt64(&s.f, ...) style) must never be read or written plainly
+// anywhere else. One plain load next to a CAS loop is a data race the race
+// detector only catches when the interleaving happens; the mixed-access
+// pattern itself is the bug. Typed atomics (atomic.Int64 fields) make the
+// discipline structural and are invisible to — and preferred over — what
+// this analyzer polices.
+//
+// The field set is collected repo-wide, so a package taking the address of
+// another package's exported field for atomic use taints that field for
+// everyone. Diagnostics are reported in the package under analysis only,
+// test files included: a test that plainly reads an atomic field races with
+// the code under test.
+var AtomicMix = &Analyzer{
+	Name:  "atomicmix",
+	Doc:   "struct fields accessed via sync/atomic are never read or written plainly",
+	Run:   runAtomicMix,
+	Tests: true,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: every field the repository accesses atomically, keyed
+	// "pkgpath.Type.field". String keys, not objects: each package is
+	// type-checked separately, so another package's view of a field is a
+	// distinct types.Var.
+	atomicFields := make(map[string]bool)
+	for _, pkg := range pass.Repo.Sorted() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					for _, arg := range atomicArgs(pkg.Info, call) {
+						if key := fieldKey(pkg.Info, arg); key != "" {
+							atomicFields[key] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain selector accesses to those fields in this package.
+	// Selectors that are themselves the &-operand of an atomic call are the
+	// sanctioned access and are skipped.
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		sanctioned := make(map[ast.Expr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range atomicArgs(info, call) {
+				sanctioned[arg] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key := fieldKey(info, sel)
+			if key == "" || !atomicFields[key] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "plain access to %s, which is accessed with sync/atomic elsewhere; use atomic loads/stores everywhere or a typed atomic", key)
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicArgs returns the selector expressions whose addresses call hands to
+// a sync/atomic package function: the x.f of every &x.f argument.
+func atomicArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	var out []ast.Expr
+	for _, arg := range call.Args {
+		u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || u.Op.String() != "&" {
+			continue
+		}
+		if inner, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+			out = append(out, inner)
+		}
+	}
+	return out
+}
+
+// fieldKey names the struct field e selects, as "pkgpath.Type.field", or ""
+// when e is not a field selection on a named type.
+func fieldKey(info *types.Info, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	owner := namedType(selection.Recv())
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return ""
+	}
+	return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + sel.Sel.Name
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The invariant-grade analyzers (lockorder, ratetaint) reason about what a
+// function does *through its callees*: a renegotiation path that acquires
+// the port mutex three calls deep still acquires it. CallGraph gives them
+// the intra-package call structure, and Facts memoizes one derived summary
+// per function over that structure, so a whole-package analysis stays one
+// walk per function instead of re-deriving callee behavior at every call
+// site.
+
+// CallGraph indexes one package's function declarations and, for each, its
+// direct intra-package callees. Only statically-resolved calls to functions
+// declared in the same package appear as edges: interface dispatch, function
+// values, and cross-package calls are invisible, which keeps every summary
+// built on the graph a documented under-approximation.
+type CallGraph struct {
+	// Decls maps each function object to its declaration. Functions without
+	// a body (externally implemented) are absent.
+	Decls map[*types.Func]*ast.FuncDecl
+	// callees lists each function's direct intra-package callees, deduped,
+	// in source order of first call.
+	callees map[*types.Func][]*types.Func
+}
+
+// NewCallGraph builds the call graph of pkg (library and in-package test
+// files alike). Calls inside function literals and `go` statements are not
+// edges: a goroutine body runs on its own stack, and a closure runs when
+// invoked, not when its enclosing function does.
+func NewCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				g.Decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range g.Decls {
+		seen := make(map[*types.Func]bool)
+		var out []*types.Func
+		inspectCalls(fd.Body, func(call *ast.CallExpr) {
+			callee := calleeFunc(pkg.Info, call)
+			if callee == nil || seen[callee] {
+				return
+			}
+			if _, local := g.Decls[callee]; !local {
+				return
+			}
+			seen[callee] = true
+			out = append(out, callee)
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+		g.callees[fn] = out
+	}
+	return g
+}
+
+// Callees returns fn's direct intra-package callees in declaration order.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.callees[fn] }
+
+// inspectCalls visits every call expression in n that executes on the
+// enclosing function's own stack: function literals and `go` statements are
+// not entered.
+func inspectCalls(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			visit(n)
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the function object a call statically invokes:
+// a plain function, a method on a concrete receiver, or an interface
+// method (which then has no declaration in CallGraph.Decls). Calls through
+// function values and built-ins resolve to nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Facts memoizes one summary value of type T per function over a call
+// graph. Compute derives fn's summary and may fold in callee summaries by
+// calling facts.Of; a recursive cycle yields T's zero value for the
+// function currently being computed, which makes every summary built this
+// way a least fixed point under "zero = no facts".
+type Facts[T any] struct {
+	Graph *CallGraph
+	// Compute derives the summary of one declared function. It is called at
+	// most once per function.
+	Compute func(fn *types.Func, decl *ast.FuncDecl, facts *Facts[T]) T
+
+	memo    map[*types.Func]T
+	walking map[*types.Func]bool
+}
+
+// Of returns fn's memoized summary, computing it on first use. Functions
+// with no declaration in the graph (imported, interface methods) yield the
+// zero value.
+func (f *Facts[T]) Of(fn *types.Func) T {
+	var zero T
+	if f.memo == nil {
+		f.memo = make(map[*types.Func]T)
+		f.walking = make(map[*types.Func]bool)
+	}
+	if v, ok := f.memo[fn]; ok {
+		return v
+	}
+	decl, ok := f.Graph.Decls[fn]
+	if !ok || f.walking[fn] {
+		return zero
+	}
+	f.walking[fn] = true
+	v := f.Compute(fn, decl, f)
+	delete(f.walking, fn)
+	f.memo[fn] = v
+	return v
+}

@@ -1,0 +1,438 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RateTaint tracks wire-origin rates to the fabric's books. PR 7 fixed a
+// real poisoning bug — a NaN ER field decoded off the wire reached a port's
+// reserved-rate accounting and wedged admission forever — by validating at
+// every entry point. This pass keeps that shape mechanical: a float64 that
+// originates from a netproto decode result or arrives as a parameter of an
+// exported function must pass a finite-rate validation call before it
+// reaches reserved accounting or an admission decision.
+//
+// Taint is flow-local and root-granular: the variable holding a decoded RM
+// is tainted as a whole, so m.ER is tainted until some call cleanses m.
+// Cleansers are calls to valid*/Valid* functions and to math.IsNaN /
+// math.IsInf with the value (or its root) as an argument — evaluating the
+// check is what counts; the walk is structural, not path-sensitive, so the
+// polarity of the branch is the author's responsibility. Sinks are writes
+// to a field named reserved, calls to setReserved, calls to AdmitCall /
+// admitCall, and tainted float64 arguments passed to an intra-package
+// callee whose corresponding parameter reaches a sink unvalidated
+// (summarized transitively over the package call graph). Branch bodies are
+// walked with a copy of the taint set; function literals and goroutine
+// bodies are not entered.
+var RateTaint = &Analyzer{
+	Name: "ratetaint",
+	Doc:  "wire-origin rates pass finite-rate validation before reserved accounting or admission",
+	Run:  runRateTaint,
+}
+
+// rateSinkCalls are the callee names that directly consume a rate into
+// accounting or admission.
+var rateSinkCalls = map[string]bool{"setReserved": true, "AdmitCall": true, "admitCall": true}
+
+func runRateTaint(pass *Pass) error {
+	info := pass.Pkg.Info
+	graph := NewCallGraph(pass.Pkg)
+	// paramSinks summarizes, per function, which float64-bearing parameter
+	// indices flow to a sink without validation inside the function (or its
+	// callees, transitively). The zero value — no sinks — makes recursive
+	// cycles an under-approximation, which is the safe direction for a
+	// linter that must stay quiet on the real tree.
+	sinks := &Facts[map[int]bool]{Graph: graph}
+	sinks.Compute = func(fn *types.Func, decl *ast.FuncDecl, facts *Facts[map[int]bool]) map[int]bool {
+		taint := make(map[types.Object]bool)
+		params := make(map[types.Object]int)
+		for i, obj := range declParams(info, decl) {
+			if rateBearing(obj.Type()) {
+				taint[obj] = true
+				params[obj] = i
+			}
+		}
+		w := &taintWalker{pass: pass, info: info, facts: facts, silent: true, paramIndex: params, hits: make(map[int]bool)}
+		w.stmts(decl.Body.List, taint)
+		return w.hits
+	}
+
+	decls := make([]*ast.FuncDecl, 0, len(graph.Decls))
+	fns := make(map[*ast.FuncDecl]*types.Func, len(graph.Decls))
+	for fn, fd := range graph.Decls {
+		decls = append(decls, fd)
+		fns[fd] = fn
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Pos() < decls[j].Pos() })
+	for _, fd := range decls {
+		taint := make(map[types.Object]bool)
+		if fns[fd].Exported() {
+			for _, obj := range declParams(info, fd) {
+				if rateBearing(obj.Type()) {
+					taint[obj] = true
+				}
+			}
+		}
+		w := &taintWalker{pass: pass, info: info, facts: sinks}
+		w.stmts(fd.Body.List, taint)
+	}
+	return nil
+}
+
+// declParams lists fd's parameter objects in declaration order (receiver
+// excluded: the fabric object itself is trusted state, not wire input).
+func declParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// rateBearing reports whether t carries a rate: float64 itself, or a struct
+// (possibly behind a pointer or slice) with a float64 field.
+func rateBearing(t types.Type) bool {
+	t = types.Unalias(t)
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Float64
+	case *types.Pointer:
+		return rateBearing(u.Elem())
+	case *types.Slice:
+		return rateBearing(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if b, ok := types.Unalias(u.Field(i).Type()).Underlying().(*types.Basic); ok && b.Kind() == types.Float64 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type taintWalker struct {
+	pass  *Pass
+	info  *types.Info
+	facts *Facts[map[int]bool]
+
+	// Summary mode: report nothing, record which parameters hit sinks.
+	silent     bool
+	paramIndex map[types.Object]int
+	hits       map[int]bool
+}
+
+func copyTaint(taint map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(taint))
+	for k, v := range taint {
+		c[k] = v
+	}
+	return c
+}
+
+// root resolves the base object an expression reads: the object behind an
+// identifier, or the base of a selector/index chain (m.ER roots at m).
+func (w *taintWalker) root(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return w.info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// tainted reports whether evaluating e can yield a tainted value.
+func (w *taintWalker) tainted(e ast.Expr, taint map[types.Object]bool) bool {
+	if e == nil || len(taint) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.info.Uses[id]; obj != nil && taint[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *taintWalker) stmts(list []ast.Stmt, taint map[types.Object]bool) map[types.Object]bool {
+	for _, s := range list {
+		taint = w.stmt(s, taint)
+	}
+	return taint
+}
+
+func (w *taintWalker) stmt(s ast.Stmt, taint map[types.Object]bool) map[types.Object]bool {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(s.X, taint)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, taint)
+		}
+		// rhsFor pairs each LHS with its source expression: element-wise
+		// for n = n assignments, the single call result for tuple forms
+		// (rm, err := DecodeRM(p) taints rm through the call).
+		rhsFor := func(i int) ast.Expr {
+			if len(s.Rhs) == len(s.Lhs) {
+				return s.Rhs[i]
+			}
+			return s.Rhs[0]
+		}
+		// A write to a reserved field is a sink; any other assignment
+		// propagates (or clears) taint on the written root.
+		for i, lhs := range s.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "reserved" {
+				// Compound ops (+=) read the field too, but taint comes
+				// from the right-hand side.
+				if w.tainted(rhsFor(i), taint) {
+					w.report(rhsFor(i), taint, "written to reserved accounting")
+				}
+				continue
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				obj := w.info.Defs[id]
+				if obj == nil {
+					obj = w.info.Uses[id]
+				}
+				if obj != nil {
+					w.setTaint(taint, obj, w.taintedSource(rhsFor(i), taint) && rateBearing(obj.Type()))
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, taint)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						w.expr(v, taint)
+						if i < len(vs.Names) {
+							if obj := w.info.Defs[vs.Names[i]]; obj != nil {
+								w.setTaint(taint, obj, w.taintedSource(v, taint) && rateBearing(obj.Type()))
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			taint = w.stmt(s.Init, taint)
+		}
+		w.expr(s.Cond, taint)
+		w.stmts(s.Body.List, copyTaint(taint))
+		if s.Else != nil {
+			w.stmt(s.Else, copyTaint(taint))
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, taint)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			taint = w.stmt(s.Init, taint)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, taint)
+		}
+		w.stmts(s.Body.List, copyTaint(taint))
+	case *ast.RangeStmt:
+		w.expr(s.X, taint)
+		body := copyTaint(taint)
+		if w.tainted(s.X, taint) {
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && id != nil {
+					if obj := w.info.Defs[id]; obj != nil && rateBearing(obj.Type()) {
+						body[obj] = true
+					}
+				}
+			}
+		}
+		w.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			taint = w.stmt(s.Init, taint)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, taint)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyTaint(taint))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyTaint(taint))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyTaint(taint))
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, taint)
+		w.expr(s.Value, taint)
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.expr(arg, taint)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call, taint)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, taint)
+	}
+	return taint
+}
+
+// taintedSource reports whether e's value is tainted for assignment
+// purposes: a tainted read, or a fresh decode result.
+func (w *taintWalker) taintedSource(e ast.Expr, taint map[types.Object]bool) bool {
+	if w.tainted(e, taint) {
+		return true
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && decodeCall(w.info, call) {
+		return true
+	}
+	return false
+}
+
+// decodeCall reports whether call invokes a netproto Decode*/Parse*
+// function: the values those produce came off the wire.
+func decodeCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if pkgBase(fn.Pkg().Path()) != "netproto" {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Decode") || strings.HasPrefix(fn.Name(), "Parse")
+}
+
+// expr scans an expression for calls: cleansers, sinks, and taint-passing
+// call sites. Cleansing mutates taint in place so it applies from this
+// statement onward.
+func (w *taintWalker) expr(e ast.Expr, taint map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.callSite(call, taint)
+		return true
+	})
+}
+
+// callSite handles one call: validation cleansers untaint their argument
+// roots; sink calls and sink-reaching callees report tainted arguments.
+func (w *taintWalker) callSite(call *ast.CallExpr, taint map[types.Object]bool) {
+	fn := calleeFunc(w.info, call)
+	if fn == nil {
+		return
+	}
+	name := fn.Name()
+	if rateCleanser(fn) {
+		for _, arg := range call.Args {
+			if obj := w.root(arg); obj != nil {
+				delete(taint, obj)
+			}
+		}
+		return
+	}
+	if rateSinkCalls[name] {
+		for _, arg := range call.Args {
+			if w.tainted(arg, taint) {
+				w.report(arg, taint, "passed to "+name)
+			}
+		}
+		return
+	}
+	// Intra-package callee whose parameter reaches a sink: passing a
+	// tainted value there is reaching the sink.
+	if w.facts == nil {
+		return
+	}
+	hits := w.facts.Of(fn)
+	if len(hits) == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		if hits[i] && w.tainted(arg, taint) {
+			w.report(arg, taint, "passed to "+name+", which feeds reserved accounting or admission")
+		}
+	}
+}
+
+// rateCleanser reports whether fn is a finite-rate validation: a
+// valid*/Valid* function, or math.IsNaN / math.IsInf.
+func rateCleanser(fn *types.Func) bool {
+	name := fn.Name()
+	if strings.HasPrefix(name, "valid") || strings.HasPrefix(name, "Valid") {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math" && (name == "IsNaN" || name == "IsInf") {
+		return true
+	}
+	return false
+}
+
+// report emits one finding, or in summary mode records which parameter's
+// taint reached the sink.
+func (w *taintWalker) report(e ast.Expr, taint map[types.Object]bool, sink string) {
+	if w.silent {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := w.info.Uses[id]; obj != nil && taint[obj] {
+					if i, ok := w.paramIndex[obj]; ok {
+						w.hits[i] = true
+					}
+				}
+			}
+			return true
+		})
+		return
+	}
+	w.pass.Reportf(e.Pos(), "%s is %s without finite-rate validation; call validRate (or IsNaN/IsInf) first", types.ExprString(e), sink)
+}
+
+// setTaint sets or clears obj's taint.
+func (w *taintWalker) setTaint(taint map[types.Object]bool, obj types.Object, tainted bool) {
+	if tainted {
+		taint[obj] = true
+	} else {
+		delete(taint, obj)
+	}
+}

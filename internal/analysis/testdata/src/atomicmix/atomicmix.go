@@ -1,0 +1,41 @@
+// Package atomicmix seeds mixed atomic/plain access to one counter field.
+package atomicmix
+
+import "sync/atomic"
+
+// Stats carries two counters: Hits is maintained with sync/atomic below and
+// must be accessed atomically everywhere; Misses is plain-only and free.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Record is the sanctioned access: address-of into the atomic package.
+func (s *Stats) Record() {
+	atomic.AddInt64(&s.Hits, 1)
+	s.Misses++
+}
+
+// Load reads atomically: fine.
+func (s *Stats) Load() int64 {
+	return atomic.LoadInt64(&s.Hits)
+}
+
+// Snapshot reads the atomic field plainly.
+func (s *Stats) Snapshot() int64 {
+	return s.Hits // want "plain access to atomicmix.Stats.Hits"
+}
+
+// Reset writes it plainly.
+func (s *Stats) Reset() {
+	s.Hits = 0 // want "plain access to atomicmix.Stats.Hits"
+}
+
+// debugDump shows the line-scoped ignore: the first read is suppressed
+// with a reason, the second still reports.
+func (s *Stats) debugDump() int64 {
+	//rcbrlint:ignore atomicmix dump runs with the world stopped in the harness
+	a := s.Hits
+	b := s.Hits // want "plain access to atomicmix.Stats.Hits"
+	return a + b
+}

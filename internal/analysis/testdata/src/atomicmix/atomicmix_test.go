@@ -1,0 +1,7 @@
+package atomicmix
+
+// Test files carry the same obligation: a test plainly reading an atomic
+// field races with the code under test.
+func peekForTest(s *Stats) int64 {
+	return s.Hits // want "plain access to atomicmix.Stats.Hits"
+}

@@ -1,0 +1,9 @@
+// Package sub reads a field its parent package maintains atomically: the
+// field set is repo-wide, so the plain read here is still a violation.
+package sub
+
+import "atomicmix"
+
+func Peek(s *atomicmix.Stats) int64 {
+	return s.Hits // want "plain access to atomicmix.Stats.Hits"
+}

@@ -1,0 +1,51 @@
+// Package directive exercises the driver's ignore-directive hardening: a
+// bare directive, one with no analyzer, one with a mangled prefix, and one
+// naming an unknown analyzer are all findings in their own right and
+// suppress nothing. Expectations live in TestDirectiveHardening, not in
+// want comments: a want comment appended to a directive line would become
+// part of the directive's own text.
+package directive
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func bareDirective(err error) bool {
+	//rcbrlint:ignore sentinelcmp
+	if err == ErrGone {
+		return true
+	}
+	return false
+}
+
+func noAnalyzer(err error) bool {
+	//rcbrlint:ignore
+	if err == ErrGone {
+		return true
+	}
+	return false
+}
+
+func mangledPrefix(err error) bool {
+	//rcbrlint:ignoredsentinelcmp no space after the directive keyword
+	if err == ErrGone {
+		return true
+	}
+	return false
+}
+
+func unknownAnalyzer(err error) bool {
+	//rcbrlint:ignore sentinelchk typo in the analyzer name
+	if err == ErrGone {
+		return true
+	}
+	return false
+}
+
+func wellFormed(err error) bool {
+	//rcbrlint:ignore sentinelcmp identity matters for this cache key
+	if err == ErrGone {
+		return true
+	}
+	return false
+}

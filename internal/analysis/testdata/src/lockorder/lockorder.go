@@ -1,0 +1,153 @@
+// Package lockorder seeds violations of the fabric lock hierarchy: the
+// ranked shard→port order, the one-ranked-lock-at-a-time rule, callee
+// propagation, self-deadlocks, and an unranked acquisition-order cycle.
+package lockorder
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+}
+
+type port struct {
+	mu sync.Mutex
+}
+
+// correct follows the hierarchy: shard before port, one of each.
+func correct(s *shard, p *port) {
+	s.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// readCorrect does the same under a shard read lock.
+func readCorrect(s *shard, p *port) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// inverted takes the port lock first: the ranked order is violated.
+func inverted(s *shard, p *port) {
+	p.mu.Lock()
+	s.mu.Lock() // want "shard before port"
+	s.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// invertedRead violates the order with a read lock under a deferred unlock.
+func invertedRead(s *shard, p *port) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.mu.RLock() // want "shard before port"
+	s.mu.RUnlock()
+}
+
+// twoShards holds two shard locks at once.
+func twoShards(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want "second shard lock"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// twoPorts holds two port locks at once.
+func twoPorts(a, b *port) {
+	a.mu.Lock()
+	b.mu.Lock() // want "second port lock"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// selfDeadlock re-locks the mutex it already holds.
+func selfDeadlock() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Lock() // want "self-deadlock"
+	mu.Unlock()
+}
+
+// branchScoped releases in one branch only; the walk keeps the lock held
+// after the if, so the shard acquisition below still violates the order
+// only inside the branch that kept it. The else branch unlocks first.
+func branchScoped(s *shard, p *port, cond bool) {
+	p.mu.Lock()
+	if cond {
+		s.mu.Lock() // want "shard before port"
+		s.mu.Unlock()
+	}
+	p.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// lockShard acquires a shard lock on behalf of its caller.
+func lockShard(s *shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// lockShardDeep reaches the shard lock two calls down.
+func lockShardDeep(s *shard) {
+	lockShard(s)
+}
+
+// viaCallee violates the order through a direct callee.
+func viaCallee(s *shard, p *port) {
+	p.mu.Lock()
+	lockShard(s) // want "via call to lockShard"
+	p.mu.Unlock()
+}
+
+// viaDeepCallee violates the order through a transitive callee.
+func viaDeepCallee(s *shard, p *port) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lockShardDeep(s) // want "via call to lockShardDeep"
+}
+
+// alpha and beta are unranked classes whose acquisition orders invert
+// between cycleAB and cycleBA: a classic two-mutex deadlock.
+type alpha struct {
+	mu sync.Mutex
+}
+
+type beta struct {
+	mu sync.Mutex
+}
+
+func cycleAB(a *alpha, b *beta) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func cycleBA(a *alpha, b *beta) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock-order cycle"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// suppressed shows an ignore directive scoping: the directive suppresses
+// the inversion on the next line only, not the rest of the file — the
+// violations above and below still report.
+func suppressed(s *shard, p *port) {
+	p.mu.Lock()
+	//rcbrlint:ignore lockorder teardown path drains the port before shard rebalance
+	s.mu.Lock()
+	s.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// notSuppressed sits after the directive in source order and still reports:
+// the ignore above is line-scoped.
+func notSuppressed(s *shard, p *port) {
+	p.mu.Lock()
+	s.mu.Lock() // want "shard before port"
+	s.mu.Unlock()
+	p.mu.Unlock()
+}

@@ -1,0 +1,14 @@
+// Package netproto fakes the wire decode surface ratetaint treats as a
+// taint source: Decode*/Parse* results came off the wire.
+package netproto
+
+// RM is a decoded resource-management cell.
+type RM struct {
+	VC int
+	ER float64
+}
+
+// DecodeRM parses a wire RM cell.
+func DecodeRM(p []byte) (RM, error) {
+	return RM{}, nil
+}

@@ -1,0 +1,112 @@
+// Package ratetaint seeds unvalidated wire rates reaching the books: from
+// decode results, from exported entry-point parameters, directly and
+// through intra-package callees.
+package ratetaint
+
+import (
+	"math"
+
+	"ratetaint/netproto"
+)
+
+// port is the accounting target: reserved is the sink field.
+type port struct {
+	reserved float64
+}
+
+// validRate reports whether r is a usable finite rate.
+func validRate(r float64) bool {
+	return r >= 0 && !math.IsNaN(r)
+}
+
+// setReserved is the accounting sink.
+func (p *port) setReserved(r float64) {
+	p.reserved = r
+}
+
+// admitCall is the admission sink.
+func admitCall(rate float64) bool { return rate >= 0 }
+
+// HandleRM feeds a decoded rate straight into the books.
+func HandleRM(p *port, buf []byte) {
+	m, err := netproto.DecodeRM(buf)
+	if err != nil {
+		return
+	}
+	p.reserved += m.ER // want "written to reserved accounting"
+}
+
+// HandleRMChecked validates the decoded rate first: clean.
+func HandleRMChecked(p *port, buf []byte) {
+	m, err := netproto.DecodeRM(buf)
+	if err != nil {
+		return
+	}
+	if !validRate(m.ER) {
+		return
+	}
+	p.reserved += m.ER
+}
+
+// Setup is an exported entry point: its rate parameter arrives tainted.
+func Setup(p *port, rate float64) {
+	p.setReserved(rate) // want "passed to setReserved"
+}
+
+// SetupChecked cleanses with math.IsNaN before the sink: clean.
+func SetupChecked(p *port, rate float64) {
+	if math.IsNaN(rate) {
+		return
+	}
+	p.setReserved(rate)
+}
+
+// Admit passes a wire rate to admission.
+func Admit(buf []byte) bool {
+	m, _ := netproto.DecodeRM(buf)
+	return admitCall(m.ER) // want "passed to admitCall"
+}
+
+// apply reaches the sink through its rate parameter, so call sites passing
+// tainted rates are flagged; apply itself is unexported and trusted.
+func apply(p *port, rate float64) {
+	p.reserved = rate
+}
+
+// SetupVia reaches reserved accounting through apply.
+func SetupVia(p *port, rate float64) {
+	apply(p, rate) // want "passed to apply"
+}
+
+// SetupViaChecked validates before the indirect sink: clean.
+func SetupViaChecked(p *port, rate float64) {
+	if !validRate(rate) {
+		return
+	}
+	apply(p, rate)
+}
+
+// HandleBatch validates each decoded element before accounting: clean.
+func HandleBatch(p *port, ms []netproto.RM) {
+	for _, m := range ms {
+		if !validRate(m.ER) {
+			continue
+		}
+		p.reserved += m.ER
+	}
+}
+
+// HandleBatchBad accounts a batch without validating its elements.
+func HandleBatchBad(p *port, ms []netproto.RM) {
+	for _, m := range ms {
+		p.reserved += m.ER // want "written to reserved accounting"
+	}
+}
+
+// SuppressedSetup shows the line-scoped ignore: the first sink is
+// suppressed with a reason, the second still reports.
+func SuppressedSetup(p *port, rate float64) {
+	//rcbrlint:ignore ratetaint conformance harness pre-validates every rate
+	p.setReserved(rate)
+	p.reserved = rate // want "written to reserved accounting"
+}

@@ -1,0 +1,12 @@
+// Package atomic fakes the old-style sync/atomic package functions that
+// atomicmix matches structurally. The import path inside the testdata tree
+// is "sync/atomic", exactly what the analyzer checks.
+package atomic
+
+func AddInt64(addr *int64, delta int64) int64 { return 0 }
+
+func LoadInt64(addr *int64) int64 { return 0 }
+
+func StoreInt64(addr *int64, val int64) {}
+
+func CompareAndSwapInt64(addr *int64, old, new int64) bool { return false }

@@ -1,0 +1,115 @@
+// Package zeroalloc seeds every allocation-inducing construct class in
+// //rcbr:zeroalloc-annotated functions, plus the shapes the analyzer must
+// accept: buffer-reuse appends, cold error paths, and unannotated code.
+package zeroalloc
+
+import "fmt"
+
+// encode is the idiomatic caller-buffer encoder: every append result flows
+// back into its operand or out of the function.
+//
+//rcbr:zeroalloc
+func encode(dst []byte, v byte) []byte {
+	dst = append(dst, v)
+	dst = append(append(dst, 0), 1)
+	return append(dst, v)
+}
+
+// grow loses the append result to a fresh variable: the growth escapes the
+// caller's buffer.
+//
+//rcbr:zeroalloc
+func grow(dst []byte, v byte) []byte {
+	tmp := append(dst, v) // want "growth allocates"
+	return tmp
+}
+
+// concat builds a string the allocating way.
+//
+//rcbr:zeroalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// convert round-trips payload bytes through a string.
+//
+//rcbr:zeroalloc
+func convert(p []byte) int {
+	s := string(p) // want "string conversion copies"
+	return len(s)
+}
+
+// format calls fmt on the steady-state path, not an error arm.
+//
+//rcbr:zeroalloc
+func format(code int) string {
+	return fmt.Sprintf("code %d", code) // want "call to fmt.Sprintf allocates"
+}
+
+// coldError formats only on the failure arm: the list ends in a non-nil
+// error return, so it is exempt.
+//
+//rcbr:zeroalloc
+func coldError(p []byte) ([]byte, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("empty payload")
+	}
+	return p, nil
+}
+
+// coldPanic's guard arm ends in panic: also exempt.
+//
+//rcbr:zeroalloc
+func coldPanic(p []byte) byte {
+	if len(p) == 0 {
+		msg := fmt.Sprintf("empty payload")
+		panic(msg)
+	}
+	return p[0]
+}
+
+// literals allocates maps, slices, and a closure.
+//
+//rcbr:zeroalloc
+func literals(n int) int {
+	m := map[int]int{n: n} // want "map literal allocates"
+	s := []int{n}          // want "slice literal allocates"
+	f := func() int { return n } // want "closure literal allocates"
+	return len(m) + len(s) + f()
+}
+
+// builders reaches for make and new.
+//
+//rcbr:zeroalloc
+func builders(n int) []int {
+	p := new(int) // want "new allocates"
+	_ = p
+	return make([]int, n) // want "make allocates"
+}
+
+func consume(v interface{}) {}
+
+// boxes passes a concrete value where an interface is expected; the pointer
+// next to it is box-free.
+//
+//rcbr:zeroalloc
+func boxes(n int, p *int) {
+	consume(n) // want "boxes the value"
+	consume(p)
+}
+
+// plain is unannotated: the same constructs carry no obligation here.
+func plain(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// suppressed shows the line-scoped ignore: the first closure is suppressed
+// with a reason, the second still reports.
+//
+//rcbr:zeroalloc
+func suppressed(n int) int {
+	//rcbrlint:ignore zeroalloc pool-backed scratch measured at 0 allocs/op
+	f := func() int { return n }
+	g := func() int { return n } // want "closure literal allocates"
+	return f() + g()
+}

@@ -1,0 +1,401 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ZeroAlloc guards the fabric's 0 allocs/op hot paths. A function annotated
+// with a //rcbr:zeroalloc line in its doc comment — the RM encode/decode
+// cores, the renegotiation steady state, the trellis scratch — is scanned
+// for allocation-inducing constructs:
+//
+//   - append whose result is neither assigned back to its first operand nor
+//     returned (the grown backing array escapes the caller-provided buffer)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - any call into fmt or errors (formatting allocates; errors.New escapes)
+//   - map literals, slice literals, make, and new
+//   - closure literals (the closure header escapes unless inlined)
+//   - interface boxing at call sites: a concrete non-pointer-shaped value
+//     passed to an interface parameter
+//
+// Error paths stay writable: a statement list whose final statement returns
+// a non-nil error or panics is cold by construction and is exempted whole —
+// AllocsPerRun pins the steady state, not the failure arm. The check is
+// structural; escape analysis may well keep a flagged construct on the
+// stack, in which case an //rcbrlint:ignore with the benchmark evidence is
+// the intended suppression.
+var ZeroAlloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc:  "functions annotated //rcbr:zeroalloc avoid allocation-inducing constructs outside cold error paths",
+	Run:  runZeroAlloc,
+}
+
+// zeroallocDirective is the annotation line marking a hot function.
+const zeroallocDirective = "//rcbr:zeroalloc"
+
+func runZeroAlloc(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !zeroallocAnnotated(fd) {
+				continue
+			}
+			w := &allocWalker{pass: pass, allowed: allowedAppends(pass.Pkg.Info, fd.Body)}
+			w.stmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// zeroallocAnnotated reports whether fd's doc comment carries the
+// //rcbr:zeroalloc directive line.
+func zeroallocAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == zeroallocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedAppends collects the append calls whose result flows back into
+// their first operand or out of the function: x = append(x, ...), append in
+// return position, and appends nested as the first operand of an allowed
+// append — the idiomatic caller-buffer encoder shapes.
+func allowedAppends(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	allowed := make(map[*ast.CallExpr]bool)
+	// chainTarget follows a call's first-operand chain through nested
+	// appends — append(append(dst, a), b) targets dst — returning the
+	// rendered base operand.
+	var chainTarget func(call *ast.CallExpr) string
+	chainTarget = func(call *ast.CallExpr) string {
+		if len(call.Args) == 0 {
+			return ""
+		}
+		if inner := appendCall(info, call.Args[0]); inner != nil {
+			return chainTarget(inner)
+		}
+		return types.ExprString(call.Args[0])
+	}
+	allow := func(e ast.Expr, lhs string) {
+		call := appendCall(info, e)
+		if call == nil || len(call.Args) == 0 {
+			return
+		}
+		if lhs != "" && chainTarget(call) != lhs {
+			// x = append(y, ...) grows y's clone into x: not buffer reuse.
+			return
+		}
+		for call != nil {
+			allowed[call] = true
+			call = appendCall(info, call.Args[0])
+			if call != nil && len(call.Args) == 0 {
+				break
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					allow(rhs, types.ExprString(n.Lhs[i]))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				allow(r, "")
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+// appendCall returns e as a call to the append built-in, or nil.
+func appendCall(info *types.Info, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	return call
+}
+
+type allocWalker struct {
+	pass    *Pass
+	allowed map[*ast.CallExpr]bool
+}
+
+// coldList reports whether a statement list is a cold error path: its last
+// statement returns a non-nil error or panics.
+func (w *allocWalker) coldList(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		for _, r := range last.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if isErrorType(w.pass.Pkg.Info.TypeOf(r)) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmts scans a statement list unless it is a cold error path.
+func (w *allocWalker) stmts(list []ast.Stmt) {
+	if w.coldList(list) {
+		return
+	}
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *allocWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmts(s.Body.List)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Post)
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// expr scans one expression tree for allocation-inducing constructs.
+func (w *allocWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	info := w.pass.Pkg.Info
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.pass.Reportf(n.Pos(), "closure literal allocates its capture context")
+			w.stmts(n.Body.List)
+			return false
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch types.Unalias(t).Underlying().(type) {
+			case *types.Map:
+				w.pass.Reportf(n.Pos(), "map literal allocates")
+				return false
+			case *types.Slice:
+				w.pass.Reportf(n.Pos(), "slice literal allocates its backing array")
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := types.Unalias(t).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						w.pass.Reportf(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: conversions, built-ins, fmt/errors,
+// and interface boxing of arguments.
+func (w *allocWalker) call(call *ast.CallExpr) {
+	info := w.pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		w.conversion(call, tv.Type)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if !w.allowed[call] {
+					w.pass.Reportf(call.Pos(), "append result neither flows back into its operand nor returns: the growth allocates and escapes")
+				}
+			case "make":
+				w.pass.Reportf(call.Pos(), "make allocates")
+			case "new":
+				w.pass.Reportf(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors":
+			w.pass.Reportf(call.Pos(), "call to %s.%s allocates", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	w.boxing(call)
+}
+
+// conversion flags string<->byte/rune-slice conversions, which copy.
+func (w *allocWalker) conversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := w.pass.Pkg.Info.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	toU, fromU := types.Unalias(to).Underlying(), types.Unalias(from).Underlying()
+	if isStringType(toU) && isByteRuneSlice(fromU) || isByteRuneSlice(toU) && isStringType(fromU) {
+		w.pass.Reportf(call.Pos(), "string conversion copies and allocates")
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// boxing flags concrete non-pointer-shaped arguments passed to interface
+// parameters: the conversion heap-boxes the value.
+func (w *allocWalker) boxing(call *ast.CallExpr) {
+	info := w.pass.Pkg.Info
+	sig, ok := types.Unalias(info.TypeOf(call.Fun)).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(types.Unalias(pt).Underlying()) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || boxFree(at) {
+			continue
+		}
+		w.pass.Reportf(arg.Pos(), "passing %s as interface parameter boxes the value and allocates", at)
+	}
+}
+
+// boxFree reports whether storing a value of type t in an interface needs
+// no allocation: pointers, channels, maps, funcs, unsafe pointers, and
+// values already behind an interface. Untyped nil is also free.
+func boxFree(t types.Type) bool {
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		b := types.Unalias(t).Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil
+	}
+	return false
+}

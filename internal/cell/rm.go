@@ -50,6 +50,8 @@ const (
 )
 
 // MarshalPayload encodes the message into a 48-byte RM payload.
+//
+//rcbr:zeroalloc
 func (m RM) MarshalPayload() ([PayloadSize]byte, error) {
 	var p [PayloadSize]byte
 	p[0] = ProtocolRCBR
@@ -84,6 +86,8 @@ func (m RM) MarshalPayload() ([PayloadSize]byte, error) {
 // ParseRM decodes and verifies a 48-byte RM payload. Reserved bytes and
 // undefined flag bits must be zero: the codec is strict so that every
 // accepted payload re-marshals to identical wire bytes.
+//
+//rcbr:zeroalloc
 func ParseRM(p []byte) (RM, error) {
 	if len(p) < PayloadSize {
 		return RM{}, ErrShort
@@ -116,6 +120,8 @@ func ParseRM(p []byte) (RM, error) {
 }
 
 // Build assembles a complete 53-byte RM cell for the given VPI/VCI.
+//
+//rcbr:zeroalloc
 func Build(h Header, m RM) ([Size]byte, error) {
 	var c [Size]byte
 	h.PTI = PTIRM
@@ -133,6 +139,8 @@ func Build(h Header, m RM) ([Size]byte, error) {
 }
 
 // Parse decodes and verifies a complete 53-byte RM cell.
+//
+//rcbr:zeroalloc
 func Parse(b []byte) (Header, RM, error) {
 	if len(b) < Size {
 		return Header{}, RM{}, ErrShort
@@ -153,6 +161,8 @@ func Parse(b []byte) (Header, RM, error) {
 
 // crc10 computes the ATM CRC-10 (generator x^10+x^9+x^5+x^4+x+1, i.e.
 // 0x633) over the buffer, returning the 10-bit remainder.
+//
+//rcbr:zeroalloc
 func crc10(b []byte) uint16 {
 	const poly = 0x633
 	var crc uint16

@@ -91,6 +91,8 @@ type Frame struct {
 }
 
 // appendHeader writes the common frame header at the given version.
+//
+//rcbr:zeroalloc
 func appendHeader(b []byte, version, typ uint8, reqID uint32) []byte {
 	b = append(b, Magic, version, typ)
 	var id [4]byte
@@ -130,6 +132,8 @@ type SetupReq struct {
 
 // AppendSetup appends a setup request datagram to dst and returns the
 // extended buffer.
+//
+//rcbr:zeroalloc
 func AppendSetup(dst []byte, reqID uint32, req SetupReq) []byte {
 	dst = appendHeader(dst, Version, TypeSetup, reqID)
 	var p [12]byte
@@ -271,6 +275,8 @@ func DecodeErr(p []byte) (code uint8, msg string) {
 }
 
 // appendRMCell appends a framed RM cell of the given type to dst.
+//
+//rcbr:zeroalloc
 func appendRMCell(dst []byte, typ uint8, reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
 	raw, err := cell.Build(h, m)
 	if err != nil {
@@ -281,6 +287,8 @@ func appendRMCell(dst []byte, typ uint8, reqID uint32, h cell.Header, m cell.RM)
 }
 
 // AppendRM appends a renegotiation datagram wrapping a full RM cell to dst.
+//
+//rcbr:zeroalloc
 func AppendRM(dst []byte, reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
 	return appendRMCell(dst, TypeRM, reqID, h, m)
 }
@@ -292,6 +300,8 @@ func EncodeRM(reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
 
 // AppendRMReply appends a reply datagram wrapping the backward RM cell to
 // dst.
+//
+//rcbr:zeroalloc
 func AppendRMReply(dst []byte, reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
 	return appendRMCell(dst, TypeRMReply, reqID, h, m)
 }
@@ -302,6 +312,8 @@ func EncodeRMReply(reqID uint32, h cell.Header, m cell.RM) ([]byte, error) {
 }
 
 // DecodeRM parses an RM payload back into header and message.
+//
+//rcbr:zeroalloc
 func DecodeRM(p []byte) (cell.Header, cell.RM, error) {
 	if len(p) < cell.Size {
 		return cell.Header{}, cell.RM{}, ErrFrame
@@ -322,6 +334,8 @@ const (
 // count byte followed by count fixed-size entries; rates travel in the same
 // TM 4.0 16-bit encoding as RM cells, so a batched renegotiation quantizes
 // exactly like a singleton one.
+//
+//rcbr:zeroalloc
 func appendRMBatch(dst []byte, typ uint8, reqID uint32, items []switchfab.RMItem) ([]byte, error) {
 	if len(items) == 0 || len(items) > MaxRMBatch {
 		return dst, fmt.Errorf("%w: batch of %d items", ErrFrame, len(items))
@@ -362,11 +376,15 @@ func appendRMBatch(dst []byte, typ uint8, reqID uint32, items []switchfab.RMItem
 
 // AppendRMBatch appends a version-3 batch request frame coalescing the
 // items' RM messages to dst.
+//
+//rcbr:zeroalloc
 func AppendRMBatch(dst []byte, reqID uint32, items []switchfab.RMItem) ([]byte, error) {
 	return appendRMBatch(dst, TypeRMBatch, reqID, items)
 }
 
 // AppendRMBatchReply appends a version-3 batch reply frame to dst.
+//
+//rcbr:zeroalloc
 func AppendRMBatchReply(dst []byte, reqID uint32, items []switchfab.RMItem) ([]byte, error) {
 	return appendRMBatch(dst, TypeRMBatchReply, reqID, items)
 }
@@ -376,6 +394,8 @@ func AppendRMBatchReply(dst []byte, reqID uint32, items []switchfab.RMItem) ([]b
 // steady state. The codec is strict: undefined flag bits and trailing bytes
 // are rejected, so every accepted payload re-encodes to identical wire
 // bytes.
+//
+//rcbr:zeroalloc
 func DecodeRMBatch(p []byte, items []switchfab.RMItem) ([]switchfab.RMItem, error) {
 	if len(p) < 1 {
 		return items, ErrFrame

@@ -440,6 +440,8 @@ func New(opts ...Option) *Switch {
 // NaN added into a port's reserved figure makes every later capacity
 // comparison false, overcommitting the port forever. +Inf is rejected
 // explicitly for the same reason.
+//
+//rcbr:zeroalloc
 func validRate(rate float64) bool {
 	return rate >= 0 && !math.IsInf(rate, 1)
 }
@@ -449,6 +451,8 @@ func (s *Switch) ShardCount() int { return len(s.shards) }
 
 // shard selects the owning shard of a VC. Sequential VCIs stripe round-robin
 // across shards, so the common dense allocation pattern balances perfectly.
+//
+//rcbr:zeroalloc
 func (s *Switch) shard(id VCID) *shard {
 	return &s.shards[uint32(id)&s.shardMask]
 }
@@ -490,6 +494,8 @@ func (s *Switch) AddPort(id int, capacity float64) error {
 // clamp is counted on switch.port.reserved_clamped and recorded as a
 // reserved-clamp event carrying the discarded residue, so drift is visible
 // instead of absorbed.
+//
+//rcbr:zeroalloc
 func (s *Switch) setReserved(p *port, v float64) {
 	if v < 0 {
 		s.stats.reservedClamps.Add(1)
@@ -578,6 +584,8 @@ func (s *Switch) admitCall(portID int, rate, reserved, capacity float64) bool {
 
 // noteShardSize CAS-raises the fullest-shard high-water mark. Called with
 // the grown shard's lock held, so n is that shard's exact size.
+//
+//rcbr:zeroalloc
 func (s *Switch) noteShardSize(n int) {
 	v := int64(n)
 	for {
@@ -659,6 +667,8 @@ func (s *Switch) Renegotiate(vci uint16, newRate float64) (granted float64, ok b
 }
 
 // RenegotiateID is Renegotiate addressing the full (VPI, VCI) space.
+//
+//rcbr:zeroalloc
 func (s *Switch) RenegotiateID(id VCID, newRate float64) (granted float64, ok bool, err error) {
 	if !validRate(newRate) {
 		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, newRate)
@@ -693,6 +703,8 @@ func (s *Switch) RenegotiateBest(vci uint16, target float64) (granted float64, f
 // returns the rate now in force and whether the full target was granted;
 // a VC left at its old rate by a zero-headroom port reports full=false and
 // is accounted as a denial.
+//
+//rcbr:zeroalloc
 func (s *Switch) RenegotiateBestID(id VCID, target float64) (granted float64, full bool, err error) {
 	if !validRate(target) {
 		return 0, false, fmt.Errorf("%w: %g", ErrInvalidRate, target)
@@ -741,6 +753,8 @@ func (s *Switch) RenegotiateBestID(id VCID, target float64) (granted float64, fu
 
 // renegStart returns the latency-timer start, or the zero time when the
 // histogram is disabled (so uninstrumented switches skip the clock reads).
+//
+//rcbr:zeroalloc
 func (s *Switch) renegStart() time.Time {
 	if s.ins.renegLatency == nil {
 		return time.Time{}
@@ -753,6 +767,8 @@ func (s *Switch) renegStart() time.Time {
 // grant, deny, duplicate drop, and error alike — so the histogram is a
 // faithful per-request latency record. HandleRMBatch observes once per
 // batch: the batch is the request.
+//
+//rcbr:zeroalloc
 func (s *Switch) observeRenegLatency(start time.Time) {
 	if s.ins.renegLatency == nil || start.IsZero() {
 		return
@@ -767,6 +783,8 @@ func (s *Switch) observeRenegLatency(start time.Time) {
 // source originally asked for; it differs from newRate only on the partial
 // settlements of RenegotiateBestID and is surfaced in the grant event so
 // the trace shows the shortfall.
+//
+//rcbr:zeroalloc
 func (s *Switch) applyRate(id VCID, vc *vcState, p *port, newRate, requested float64, grantKind metrics.EventKind) (float64, bool) {
 	s.stats.renegotiations.Add(1)
 	s.ins.renegs.Inc()
@@ -810,6 +828,8 @@ func (s *Switch) applyRate(id VCID, vc *vcState, p *port, newRate, requested flo
 // would leave the rate off by the delta forever. The reply to a dropped
 // duplicate carries the current absolute rate with Resync set and is not a
 // denial. Resync cells always apply and reset the per-VC sequence state.
+//
+//rcbr:zeroalloc
 func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 	if m.Backward || m.Response {
 		return cell.RM{}, fmt.Errorf("switchfab: HandleRM on a backward/response cell")
@@ -832,6 +852,8 @@ func (s *Switch) HandleRM(h cell.Header, m cell.RM) (cell.RM, error) {
 // handleRMLocked applies one validated forward RM message to an established
 // VC and builds the backward cell. The VC's shard lock must be held (shared
 // suffices); the port mutex is taken here.
+//
+//rcbr:zeroalloc
 func (s *Switch) handleRMLocked(id VCID, vc *vcState, m cell.RM) cell.RM {
 	p := vc.p
 	p.mu.Lock()
@@ -906,6 +928,8 @@ const batchChunk = 64
 // requests by (VPI, VCI) and treat a missing entry as a per-VC failure to
 // resolve on the singleton path. The renegotiation-latency histogram
 // records one observation for the whole batch.
+//
+//rcbr:zeroalloc
 func (s *Switch) HandleRMBatch(items []RMItem, out []RMItem) []RMItem {
 	defer s.observeRenegLatency(s.renegStart())
 	s.stats.batches.Add(1)

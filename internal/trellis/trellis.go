@@ -438,6 +438,8 @@ func checkFeasible(tr *trace.Trace, maxDrain float64, caps []float64) error {
 
 // clampQuantize clamps b at zero and, when grid > 0, rounds it up to the
 // grid (conservative for the buffer constraint).
+//
+//rcbr:zeroalloc
 func clampQuantize(b, grid float64) float64 {
 	if b < 0 {
 		return 0
@@ -452,11 +454,17 @@ func clampQuantize(b, grid float64) float64 {
 // staying candidates from the same-rate frontier plus switching candidates
 // (alpha surcharge, fresh event) from the global frontier, Pareto-merged in
 // ascending-b order.
+//
+//rcbr:zeroalloc
 func advance(out []entry, same, global []entry, a, drain, slotCost,
 	alpha, bcap, grid float64, k int32, pr Pruning, nodes *int64) []entry {
 
 	i, j := 0, 0
 	minW := math.Inf(1)
+	// The closure captures out/minW by reference on this stack frame; it
+	// never escapes advance, so the compiler keeps it heap-free — pinned
+	// by the AllocsPerRun optimizer benchmark.
+	//rcbrlint:ignore zeroalloc non-escaping closure, 0 allocs/op pinned by TestSteadyStateAllocations
 	push := func(b, w float64, ev *event) {
 		*nodes++
 		b = clampQuantize(b, grid)
@@ -544,6 +552,8 @@ func (o *optimizer) materialize(t int32) {
 // cursor min-heap (O(N log K)). The crossover sits around a dozen lanes.
 const mergeHeapMinK = 12
 
+//
+//rcbr:zeroalloc
 func (o *optimizer) mergeGlobal(pr Pruning) []entry {
 	if len(o.fronts) >= mergeHeapMinK {
 		return o.mergeGlobalHeap(pr)
@@ -585,6 +595,8 @@ func (o *optimizer) mergeGlobal(pr Pruning) []entry {
 // mergeGlobalHeap is mergeGlobal on a min-heap of per-rate cursors, for
 // runs with many levels. Ties on (b, w) break toward the lower rate index,
 // exactly like the linear scan, so both paths emit the same sequence.
+//
+//rcbr:zeroalloc
 func (o *optimizer) mergeGlobalHeap(pr Pruning) []entry {
 	out := o.merged[:0]
 	cur := o.cursor
@@ -624,6 +636,8 @@ func (o *optimizer) mergeGlobalHeap(pr Pruning) []entry {
 
 // headLess orders two rate lanes by their current head entry: (b, w)
 // lexicographically, lower rate index on full ties.
+//
+//rcbr:zeroalloc
 func (o *optimizer) headLess(ki, kj int32) bool {
 	a, b := o.fronts[ki][o.cursor[ki]], o.fronts[kj][o.cursor[kj]]
 	if a.b != b.b {
@@ -636,6 +650,8 @@ func (o *optimizer) headLess(ki, kj int32) bool {
 }
 
 // heapDown restores the min-heap property from index i.
+//
+//rcbr:zeroalloc
 func (o *optimizer) heapDown(i int) {
 	h := o.heap
 	for {
@@ -661,6 +677,8 @@ func (o *optimizer) heapDown(i int) {
 // alpha == 0 the comparison is made strict, which keeps every global-Pareto
 // member and collapses each frontier onto it (switching is free, so nothing
 // off the global frontier can be optimal). It returns the surviving total.
+//
+//rcbr:zeroalloc
 func (o *optimizer) crossPrune(alpha float64) int {
 	global := o.mergeGlobal(PruneFull)
 	if len(global) == 0 {

@@ -1,0 +1,84 @@
+package rcbr
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMakefileRaceParallelSync asserts that the package list the
+// race-parallel recipe actually races is exactly RACE_PARALLEL_PKGS. The
+// recipe needs one explicit line per package (each carries its own -run
+// filter), so nothing structural stops the variable and the recipe from
+// drifting apart — except this test. It also checks the two raced lists
+// overlap only where intended: a package in both RACE_PKGS and
+// RACE_PARALLEL_PKGS gets its full suite raced plus a filtered pass, which
+// is deliberate for switchfab, so the assertion here is set equality for
+// race-parallel, not disjointness.
+func TestMakefileRaceParallelSync(t *testing.T) {
+	src, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatalf("reading Makefile: %v", err)
+	}
+	declared := makefileVar(t, string(src), "RACE_PARALLEL_PKGS")
+	if len(declared) == 0 {
+		t.Fatal("RACE_PARALLEL_PKGS is empty or missing")
+	}
+	recipe := recipePackages(t, string(src), "race-parallel")
+	if len(recipe) == 0 {
+		t.Fatal("race-parallel recipe races no packages")
+	}
+	sort.Strings(declared)
+	sort.Strings(recipe)
+	if strings.Join(declared, " ") != strings.Join(recipe, " ") {
+		t.Errorf("RACE_PARALLEL_PKGS and the race-parallel recipe disagree:\n  variable: %v\n  recipe:   %v",
+			declared, recipe)
+	}
+}
+
+// makefileVar returns the whitespace-separated values of a simple `NAME :=`
+// Makefile assignment.
+func makefileVar(t *testing.T, src, name string) []string {
+	t.Helper()
+	for _, line := range strings.Split(src, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" :=")
+		if !ok {
+			continue
+		}
+		return strings.Fields(rest)
+	}
+	t.Fatalf("no %s := assignment in Makefile", name)
+	return nil
+}
+
+// recipePackages collects the unique ./-prefixed package arguments from the
+// recipe lines of the named Makefile target.
+func recipePackages(t *testing.T, src, target string) []string {
+	t.Helper()
+	lines := strings.Split(src, "\n")
+	start := -1
+	for i, line := range lines {
+		if strings.HasPrefix(line, target+":") {
+			start = i + 1
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("no %s target in Makefile", target)
+	}
+	seen := make(map[string]bool)
+	var pkgs []string
+	for _, line := range lines[start:] {
+		if !strings.HasPrefix(line, "\t") {
+			break
+		}
+		for _, f := range strings.Fields(line) {
+			if strings.HasPrefix(f, "./") && !seen[f] {
+				seen[f] = true
+				pkgs = append(pkgs, f)
+			}
+		}
+	}
+	return pkgs
+}
