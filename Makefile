@@ -7,7 +7,7 @@ GO ?= go
 # Concurrency-sensitive packages run under the race detector in CI. The
 # trellis and experiments packages gained worker pools; their parallel and
 # sweep tests run raced via race-parallel below.
-RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./internal/mesh/ ./internal/churn/ ./cmd/rcbrd/
+RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./internal/mesh/ ./internal/churn/ ./internal/datapath/ ./cmd/rcbrd/
 
 # Packages whose worker-pool tests run raced through the race-parallel
 # target (each with its own -run filter, so they get explicit recipe lines).

@@ -18,6 +18,7 @@ import (
 	"rcbr/internal/callsim"
 	"rcbr/internal/cell"
 	"rcbr/internal/core"
+	"rcbr/internal/datapath"
 	"rcbr/internal/experiments"
 	"rcbr/internal/heuristic"
 	"rcbr/internal/ld"
@@ -763,5 +764,100 @@ func BenchmarkChurnBytesPerVC(b *testing.B) {
 	runtime.KeepAlive(sw)
 	if after.HeapInuse > before.HeapInuse {
 		b.ReportMetric(float64(after.HeapInuse-before.HeapInuse)/float64(min(b.N, 1<<24)), "bytes/vc")
+	}
+}
+
+// --- Wire-speed cell data path (internal/datapath) ---
+
+// benchDataPathForward measures the steady-state forwarding loop: every
+// cycle injects a fixed batch of prebuilt data cells striped across the
+// ports, runs one Forward sweep, and drains every egress ring. Shaper rates
+// are set far above the offered load so the hot path runs end to end
+// (header parse, VC lookup, token accounting, egress push) without
+// policing, and the reported cells/s is pure forwarding throughput.
+func benchDataPathForward(b *testing.B, ports, vcs int) {
+	f := datapath.New()
+	pl := make([]*datapath.Port, ports)
+	for p := 0; p < ports; p++ {
+		var err error
+		if pl[p], err = f.AddPort(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cells := make([]datapath.Cell, vcs)
+	for i := 0; i < vcs; i++ {
+		id := switchfab.MakeVCID(uint8(i>>16), uint16(i))
+		if err := f.AddVC(id, (i+1)%ports, 1e12); err != nil {
+			b.Fatal(err)
+		}
+		h := cell.Header{VPI: id.VPI(), VCI: id.VCI()}
+		if err := cell.PutData(&cells[i], h, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const perPort = 64
+	batch := perPort * ports
+	now := int64(0)
+	vc := 0
+	var moved int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += int64(time.Millisecond)
+		for j := 0; j < batch; j++ {
+			if !f.Inject(pl[vc%ports], &cells[vc]) {
+				b.Fatal("ingress ring full")
+			}
+			vc++
+			if vc == vcs {
+				vc = 0
+			}
+		}
+		moved += int64(f.Forward(now))
+		for _, p := range pl {
+			f.Transmit(p, batch)
+		}
+	}
+	b.StopTimer()
+	if moved != int64(b.N)*int64(batch) {
+		b.Fatalf("moved %d of %d cells (policed or stuck)", moved, int64(b.N)*int64(batch))
+	}
+	b.ReportMetric(float64(moved)/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkDataPathForward1Port1kVC(b *testing.B)   { benchDataPathForward(b, 1, 1024) }
+func BenchmarkDataPathForward4Port1kVC(b *testing.B)   { benchDataPathForward(b, 4, 1024) }
+func BenchmarkDataPathForward8Port1kVC(b *testing.B)   { benchDataPathForward(b, 8, 1024) }
+func BenchmarkDataPathForward1Port100kVC(b *testing.B) { benchDataPathForward(b, 1, 100_000) }
+func BenchmarkDataPathForward4Port100kVC(b *testing.B) { benchDataPathForward(b, 4, 100_000) }
+func BenchmarkDataPathForward8Port100kVC(b *testing.B) { benchDataPathForward(b, 8, 100_000) }
+
+// --- Data-cell codec (tracked subset of internal/cell) ---
+
+func BenchmarkFabricCellAppend(b *testing.B) {
+	h := cell.Header{VPI: 3, VCI: 42}
+	payload := make([]byte, cell.PayloadSize)
+	buf := make([]byte, 0, cell.Size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buf, err = cell.AppendData(buf[:0], h, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricCellParse(b *testing.B) {
+	var raw [cell.Size]byte
+	if err := cell.PutData(&raw, cell.Header{VPI: 3, VCI: 42}, []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cell.ParseData(raw[:]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -18,6 +18,12 @@
 // more than the threshold percent in ns/op. Benchmarks that appear in only
 // one file are reported but never fatal, so adding or retiring a benchmark
 // does not break the gate.
+//
+// Benchmarks under the zero-alloc contract (the hot-path DataPath* and
+// FabricCell* families) are additionally gated on allocs/op: any nonzero
+// allocation count in the new run fails the comparison outright, whatever
+// the ns/op delta — a single escaped allocation is a contract break, not a
+// 15% slowdown.
 package main
 
 import (
@@ -97,8 +103,26 @@ func main() {
 	}
 }
 
+// zeroAllocPrefixes names the benchmark families whose hot paths carry the
+// //rcbr:zeroalloc contract: they must report exactly 0 allocs/op, and
+// -compare fails them on any nonzero count. A recorded 0 is indistinguishable
+// from "not measured with -benchmem" in the JSON (both marshal away), so the
+// gate keys on the name contract, not the baseline value.
+var zeroAllocPrefixes = []string{"BenchmarkDataPath", "BenchmarkFabricCell"}
+
+// zeroAllocContract reports whether name is under the zero-alloc gate.
+func zeroAllocContract(name string) bool {
+	for _, p := range zeroAllocPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // compareBaselines diffs the benchmarks shared by two baseline files and
-// reports whether any regressed by more than threshold percent in ns/op.
+// reports whether any regressed by more than threshold percent in ns/op, or
+// broke the zero-alloc contract.
 func compareBaselines(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
 	oldBase, err := readBaseline(oldPath)
 	if err != nil {
@@ -116,6 +140,13 @@ func compareBaselines(w io.Writer, oldPath, newPath string, threshold float64) (
 	seen := make(map[string]bool, len(newBase.Results))
 	for _, nr := range newBase.Results {
 		seen[nr.Name] = true
+		if zeroAllocContract(nr.Name) && nr.AllocsPerOp > 0 {
+			// The alloc gate applies even to benchmarks with no baseline
+			// entry: a brand-new hot-path bench must arrive clean.
+			fmt.Fprintf(w, "ALLOCS %-40s %12.0f allocs/op (zero-alloc contract)\n",
+				nr.Name, nr.AllocsPerOp)
+			regressed = true
+		}
 		or, ok := oldByName[nr.Name]
 		if !ok {
 			fmt.Fprintf(w, "new    %-40s %12.1f ns/op (no baseline)\n", nr.Name, nr.NsPerOp)
@@ -139,7 +170,7 @@ func compareBaselines(w io.Writer, oldPath, newPath string, threshold float64) (
 		}
 	}
 	if regressed {
-		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% threshold\n", threshold)
+		fmt.Fprintf(w, "benchjson: regression beyond %.0f%% ns/op threshold or broken zero-alloc contract\n", threshold)
 	}
 	return regressed, nil
 }

@@ -140,3 +140,47 @@ ok  	rcbr	12.3s
 		t.Fatalf("second result %+v", base.Results[1])
 	}
 }
+
+// The zero-alloc families fail -compare on any allocation, independent of
+// the ns/op threshold, and the gate covers benchmarks with no baseline too.
+func TestCompareZeroAllocContract(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json",
+		Result{Name: "BenchmarkDataPathForward4Port1kVC", NsPerOp: 100},
+		Result{Name: "BenchmarkFig2OPT", NsPerOp: 100, AllocsPerOp: 5000})
+	newPath := writeBaseline(t, "new.json",
+		Result{Name: "BenchmarkDataPathForward4Port1kVC", NsPerOp: 100, AllocsPerOp: 1},
+		Result{Name: "BenchmarkFig2OPT", NsPerOp: 100, AllocsPerOp: 9000})
+	var buf strings.Builder
+	regressed, err := compareBaselines(&buf, oldPath, newPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("1 alloc/op on a zero-alloc bench not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ALLOCS") {
+		t.Errorf("report missing ALLOCS verdict:\n%s", buf.String())
+	}
+
+	// Clean hot paths pass; non-contract benchmarks may allocate freely.
+	cleanPath := writeBaseline(t, "clean.json",
+		Result{Name: "BenchmarkDataPathForward4Port1kVC", NsPerOp: 100},
+		Result{Name: "BenchmarkFabricCellParse", NsPerOp: 10}, // new, no baseline
+		Result{Name: "BenchmarkFig2OPT", NsPerOp: 100, AllocsPerOp: 9000})
+	if regressed, err = compareBaselines(&strings.Builder{}, oldPath, cleanPath, 15); err != nil || regressed {
+		t.Errorf("clean zero-alloc run failed the gate: regressed=%v err=%v", regressed, err)
+	}
+}
+
+func TestZeroAllocContractNames(t *testing.T) {
+	for name, want := range map[string]bool{
+		"BenchmarkDataPathForward8Port100kVC": true,
+		"BenchmarkFabricCellAppend":           true,
+		"BenchmarkFabricRMSharded64k":         false,
+		"BenchmarkFig2OPT":                    false,
+	} {
+		if got := zeroAllocContract(name); got != want {
+			t.Errorf("zeroAllocContract(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

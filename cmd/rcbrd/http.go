@@ -29,7 +29,7 @@ const (
 // The first two are read-only views; neither perturbs the signaling path
 // beyond the instruments it already updates. The profile endpoints are
 // opt-in (-pprof) because a CPU or trace capture does perturb the daemon.
-func newHTTPHandler(reg *metrics.Registry, sw *switchfab.Switch, ring *metrics.EventRing, withPprof bool) http.Handler {
+func newHTTPHandler(reg *metrics.Registry, sw *switchfab.Switch, ring *metrics.EventLog, withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

@@ -21,7 +21,7 @@ import (
 // gauge returns to zero) and /vcs (VC table while up, event trace after).
 func TestEndpointsShowSignalingActivity(t *testing.T) {
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(64)
+	ring := metrics.NewEventLog(64)
 	sw := switchfab.New(switchfab.WithMetrics(reg), switchfab.WithEventTrace(ring))
 	if err := addPorts(sw, "1:10e6"); err != nil {
 		t.Fatal(err)

@@ -51,7 +51,7 @@ func main() {
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(*events)
+	ring := metrics.NewEventLog(*events)
 	sw := switchfab.New(switchfab.WithMetrics(reg), switchfab.WithEventTrace(ring))
 	if err := addPorts(sw, *ports); err != nil {
 		fatal(err)

@@ -12,6 +12,7 @@
 //	rcbrsim signal [-n N] [-json out.json]         online sources over a live UDP switch
 //	rcbrsim churn  [-vcs N] [-admit memory|none]   call-scale churn against a live switch
 //	rcbrsim topology [-n N] [-preset P] [-csv F]   parking-lot mesh, utilization + fairness CSV
+//	rcbrsim datapath [-n N] [-hops H] [-csv F]     real cells through a forwarder chain: loss/delay CSV
 //
 // Full-length runs (-frames 0 selects the whole two-hour trace) reproduce
 // the paper's setup; shorter traces keep the shapes with less wall time.
@@ -61,8 +62,10 @@ func main() {
 		err = analysis(args)
 	case "section2":
 		err = section2(args)
+	case "muxcmp":
+		err = muxcmp(args)
 	case "datapath":
-		err = datapath(args)
+		err = datapathRun(args)
 	case "latency":
 		err = latency(args)
 	case "chernoff":
@@ -94,7 +97,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `rcbrsim regenerates the RCBR paper's figures.
-commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 datapath latency chernoff fit rvbr signal fabric churn topology
+commands: fig2 fig5 fig6 fig7 fig8 fig9 analysis section2 muxcmp datapath latency chernoff fit rvbr signal fabric churn topology
 run "rcbrsim <command> -h" for per-command flags`)
 }
 
@@ -408,8 +411,8 @@ func section2(args []string) error {
 	return w.Flush()
 }
 
-func datapath(args []string) error {
-	fs := flag.NewFlagSet("datapath", flag.ExitOnError)
+func muxcmp(args []string) error {
+	fs := flag.NewFlagSet("muxcmp", flag.ExitOnError)
 	frames, seed := commonFlags(fs)
 	n := fs.Int("n", 8, "number of multiplexed sources")
 	util := fs.Float64("util", 0.8, "link utilization")
@@ -424,7 +427,7 @@ func datapath(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("datapath: cell-level FIFO multiplexer, smoothed CBR vs raw VBR bursts")
+	fmt.Println("muxcmp: cell-level FIFO multiplexer, smoothed CBR vs raw VBR bursts")
 	fmt.Printf("sources: %d, link %.0f cells/s, utilization %.0f%%\n",
 		res.Sources, res.LinkCellRate, *util*100)
 	fmt.Printf("CBR (RCBR output): max queue %d cells, mean delay %.1f cell times\n",

@@ -47,7 +47,7 @@ func signalRun(args []string) error {
 	// One observability plane for everything: switch, signaling server,
 	// signaling client, and every source's heuristic share the registry.
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(*events)
+	ring := metrics.NewEventLog(*events)
 	sw := switchfab.New(switchfab.WithMetrics(reg), switchfab.WithEventTrace(ring))
 
 	traces := make([]*trSource, *n)
@@ -177,7 +177,7 @@ type signalDump struct {
 	Events         []metrics.Event  `json:"events"`
 }
 
-func dumpJSON(path string, snap metrics.Snapshot, ring *metrics.EventRing) error {
+func dumpJSON(path string, snap metrics.Snapshot, ring *metrics.EventLog) error {
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

@@ -24,6 +24,11 @@ import (
 //  3. No cycles: for unranked classes, mutually inverted acquisition orders
 //     (A→B somewhere, B→A somewhere else) are a latent deadlock and are
 //     reported at the edge that closes the cycle.
+//  4. Never-ring: ring buffers are single-producer/single-consumer by
+//     contract (DESIGN §14) and synchronize with atomics alone. A
+//     ring-named struct type declaring a mutex field, or any acquisition of
+//     a mutex owned by a ring-named type, is reported — the hierarchy ends
+//     at shard → port → never a ring lock.
 //
 // A re-acquisition of the very same lock expression via Lock (not RLock) is
 // additionally flagged as a self-deadlock. The walk is structural, like
@@ -100,7 +105,58 @@ func runLockOrder(pass *Pass) error {
 		w.walkFunc(fd)
 	}
 	w.reportCycles()
+	reportRingMutexDecls(pass)
 	return nil
+}
+
+// ringNamed reports whether a type name denotes a ring buffer: "ring",
+// "Ring", a "Ring" prefix or suffix, or a "ring" prefix followed by a new
+// word ("ringBuf"). Substring matches inside other words ("String") do not
+// count.
+func ringNamed(name string) bool {
+	switch {
+	case name == "ring" || name == "Ring":
+		return true
+	case strings.HasPrefix(name, "Ring") || strings.HasSuffix(name, "Ring"):
+		return true
+	case strings.HasPrefix(name, "ring") && len(name) > 4 &&
+		(name[4] >= 'A' && name[4] <= 'Z' || name[4] == '_'):
+		return true
+	}
+	return false
+}
+
+// reportRingMutexDecls flags ring-named struct types that declare a mutex
+// field: the lock is a contract violation at birth, before anyone acquires
+// it.
+func reportRingMutexDecls(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ringNamed(ts.Name.Name) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					t := info.TypeOf(field.Type)
+					if isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex") {
+						pass.Reportf(field.Pos(),
+							"ring type %s declares a mutex; rings are SPSC and synchronize with atomics only",
+							ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
 }
 
 // mutexAcquire decodes x.Lock()/x.Unlock()/x.RLock()/x.RUnlock() where x is
@@ -324,6 +380,11 @@ func (w *orderWalker) checkAcquire(pos token.Pos, recv, class string, write bool
 	suffix := ""
 	if via != "" {
 		suffix = " (via call to " + via + ")"
+	}
+	if class != "" && ringNamed(classType(class)) {
+		w.pass.Reportf(pos,
+			"acquires a lock owned by ring type %s%s; rings are SPSC and never locked",
+			classType(class), suffix)
 	}
 	for _, h := range held {
 		if via == "" && write && h.expr == recv {

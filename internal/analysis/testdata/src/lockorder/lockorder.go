@@ -151,3 +151,36 @@ func notSuppressed(s *shard, p *port) {
 	s.mu.Unlock()
 	p.mu.Unlock()
 }
+
+// cellRing models a ring buffer that wrongly grew a mutex: the never-ring
+// rule reports the field at its declaration, before any acquisition.
+type cellRing struct {
+	mu sync.Mutex // want "rings are SPSC"
+}
+
+// lockRing acquires the ring's lock directly.
+func lockRing(r *cellRing) {
+	r.mu.Lock() // want "never locked"
+	r.mu.Unlock()
+}
+
+// lockRingUnderPort would be doubly wrong in the fabric: a ring lock taken
+// while a port lock is held. The ring rule reports it regardless of what is
+// held.
+func lockRingUnderPort(p *port, r *cellRing) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r.mu.Lock() // want "never locked"
+	r.mu.Unlock()
+}
+
+// resultString contains "ring" only inside another word: not a ring type,
+// so its mutex is an ordinary unranked class and reports nothing.
+type resultString struct {
+	mu sync.Mutex
+}
+
+func lockString(x *resultString) {
+	x.mu.Lock()
+	x.mu.Unlock()
+}

@@ -72,8 +72,8 @@ func coldPanic(p []byte) byte {
 //
 //rcbr:zeroalloc
 func literals(n int) int {
-	m := map[int]int{n: n} // want "map literal allocates"
-	s := []int{n}          // want "slice literal allocates"
+	m := map[int]int{n: n}       // want "map literal allocates"
+	s := []int{n}                // want "slice literal allocates"
 	f := func() int { return n } // want "closure literal allocates"
 	return len(m) + len(s) + f()
 }
@@ -112,4 +112,29 @@ func suppressed(n int) int {
 	f := func() int { return n }
 	g := func() int { return n } // want "closure literal allocates"
 	return f() + g()
+}
+
+// ringPush models the SPSC ring hot path done right: the cell is copied
+// into a preallocated slot, no allocation anywhere.
+//
+//rcbr:zeroalloc
+func ringPush(buf [][53]byte, head uint64, c *[53]byte) {
+	buf[head&uint64(len(buf)-1)] = *c
+}
+
+// ringPushGrowing appends instead of overwriting a slot: the ring's backing
+// array regrows on the hot path.
+//
+//rcbr:zeroalloc
+func ringPushGrowing(buf [][53]byte, c *[53]byte) {
+	q := append(buf, *c) // want "growth allocates"
+	_ = q
+}
+
+// ringPushBoxed hands the cell to a logging sink through an interface
+// parameter: every push boxes 53 bytes.
+//
+//rcbr:zeroalloc
+func ringPushBoxed(c [53]byte) {
+	consume(c) // want "boxes the value"
 }

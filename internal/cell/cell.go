@@ -101,25 +101,6 @@ func ParseHeader(b []byte) (Header, error) {
 	}, nil
 }
 
-// hec computes the ATM header error control byte: CRC-8 with polynomial
-// x^8+x^2+x+1 over the first four header bytes, XORed with 0x55 (I.432).
-//
-//rcbr:zeroalloc
-func hec(b []byte) byte {
-	var crc byte
-	for _, x := range b {
-		crc ^= x
-		for i := 0; i < 8; i++ {
-			if crc&0x80 != 0 {
-				crc = crc<<1 ^ 0x07
-			} else {
-				crc <<= 1
-			}
-		}
-	}
-	return crc ^ 0x55
-}
-
 // EncodeRate16 encodes a non-negative rate into the ATM TM 4.0 16-bit
 // floating-point format: bit 15 = nonzero flag, bits 14..10 = exponent e,
 // bits 9..0 omitted-leading-one mantissa m, value = 2^e * (1 + m/512).

@@ -1,0 +1,70 @@
+package cell
+
+// Byte-at-a-time lookup tables for the two cell CRCs. The bit-serial
+// definitions (see hecRef/crc10Ref in the tests) cost 8 branches per byte;
+// the data path verifies a HEC on every forwarded cell, so both CRCs run
+// from 256-entry tables built once at init. Equivalence with the bit-serial
+// forms is pinned by TestCRCTablesMatchBitSerial.
+
+// crc8Table[i] is the CRC-8 (poly x^8+x^2+x+1, 0x07) of the single byte i.
+var crc8Table = func() (t [256]byte) {
+	for i := range t {
+		crc := byte(i)
+		for b := 0; b < 8; b++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}()
+
+// crc10Table[i] is the 10-bit CRC (poly 0x633) of byte i aligned to the top
+// of the register, i.e. the register i<<2 advanced eight steps.
+var crc10Table = func() (t [256]uint16) {
+	const poly = 0x633
+	for i := range t {
+		r := uint16(i) << 2
+		for b := 0; b < 8; b++ {
+			if r&0x200 != 0 {
+				r = r<<1 ^ poly
+			} else {
+				r <<= 1
+			}
+			r &= 0x3FF
+		}
+		t[i] = r
+	}
+	return t
+}()
+
+// hec computes the ATM header error control byte: CRC-8 with polynomial
+// x^8+x^2+x+1 over the first four header bytes, XORed with 0x55 (I.432).
+//
+//rcbr:zeroalloc
+func hec(b []byte) byte {
+	var crc byte
+	for _, x := range b {
+		crc = crc8Table[crc^x]
+	}
+	return crc ^ 0x55
+}
+
+// crc10 computes the ATM CRC-10 (generator x^10+x^9+x^5+x^4+x+1, i.e.
+// 0x633) over the buffer, returning the 10-bit remainder.
+//
+// Per byte: the register's top eight bits combine with the input byte
+// through the table; its low two bits shift up eight places unreduced
+// (they stay below bit 10), which is exactly (crc<<8)&0x3FF.
+//
+//rcbr:zeroalloc
+func crc10(b []byte) uint16 {
+	var crc uint16
+	for _, x := range b {
+		crc = (crc<<8)&0x3FF ^ crc10Table[byte(crc>>2)^x]
+	}
+	return crc
+}

@@ -158,24 +158,3 @@ func Parse(b []byte) (Header, RM, error) {
 	}
 	return h, m, nil
 }
-
-// crc10 computes the ATM CRC-10 (generator x^10+x^9+x^5+x^4+x+1, i.e.
-// 0x633) over the buffer, returning the 10-bit remainder.
-//
-//rcbr:zeroalloc
-func crc10(b []byte) uint16 {
-	const poly = 0x633
-	var crc uint16
-	for _, x := range b {
-		crc ^= uint16(x) << 2
-		for i := 0; i < 8; i++ {
-			if crc&0x200 != 0 {
-				crc = crc<<1 ^ poly
-			} else {
-				crc <<= 1
-			}
-		}
-		crc &= 0x3FF
-	}
-	return crc
-}

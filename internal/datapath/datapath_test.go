@@ -1,0 +1,427 @@
+package datapath
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"rcbr/internal/cell"
+	"rcbr/internal/metrics"
+	"rcbr/internal/switchfab"
+)
+
+// mkCell builds a data cell for the VC with an optional 8-byte stamp.
+func mkCell(t testing.TB, id switchfab.VCID, stamp uint64) Cell {
+	t.Helper()
+	var payload [8]byte
+	binary.BigEndian.PutUint64(payload[:], stamp)
+	var c Cell
+	h := cell.Header{VPI: id.VPI(), VCI: id.VCI()}
+	if err := cell.PutData(&c, h, payload[:]); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// drain pumps Forward/Transmit until nothing moves, advancing the clock by
+// step nanos per sweep so shapers keep earning tokens.
+func drain(f *Forwarder, ports []*Port, now, step int64) int64 {
+	for idle := 0; idle < 3; {
+		moved := f.Forward(now)
+		for _, p := range ports {
+			moved += f.Transmit(p, p.OutLen()+1)
+		}
+		now += step
+		if moved == 0 {
+			idle++
+		} else {
+			idle = 0
+		}
+	}
+	return now
+}
+
+func TestForwardRoutesAndCounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := New(WithMetrics(reg), WithBurst(8))
+	in, err := f.AddPort(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.AddPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := switchfab.MakeVCID(3, 77)
+	if err := f.AddVC(id, 2, 1e6); err != nil {
+		t.Fatal(err)
+	}
+
+	c := mkCell(t, id, 42)
+	if !f.Inject(in, &c) {
+		t.Fatal("inject refused")
+	}
+	if n := f.Forward(0); n != 1 {
+		t.Fatalf("Forward processed %d cells, want 1", n)
+	}
+	if out.OutLen() != 1 {
+		t.Fatalf("egress queue %d, want 1", out.OutLen())
+	}
+	var delivered int
+	f.TransmitTo(out, 8, func(got *Cell) {
+		delivered++
+		h, p, err := cell.ParseData(got[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.VPI != 3 || h.VCI != 77 || binary.BigEndian.Uint64(p[:8]) != 42 {
+			t.Fatalf("wrong cell delivered: %+v", h)
+		}
+	})
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+
+	vs, ok := f.VCStats(id)
+	if !ok || vs.Seen != 1 || vs.Forwarded != 1 || vs.Queued != 0 {
+		t.Fatalf("vc stats %+v", vs)
+	}
+	ps := in.Stats()
+	if ps.Arrived != 1 || ps.Forwarded != 1 {
+		t.Fatalf("ingress stats %+v", ps)
+	}
+	os := out.Stats()
+	if os.Enqueued != 1 || os.Transmitted != 1 || os.OutQueued != 0 {
+		t.Fatalf("egress stats %+v", os)
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		MetricCellsArrived:     1,
+		MetricCellsForwarded:   1,
+		MetricCellsTransmitted: 1,
+		MetricForwardBatches:   1,
+	} {
+		if snap.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], want)
+		}
+	}
+}
+
+func TestForwardDropsBadHeaderAndUnroutable(t *testing.T) {
+	f := New()
+	in, _ := f.AddPort(1)
+	if _, err := f.AddPort(1); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+
+	var garbage Cell
+	garbage[4] = 0xAA // HEC cannot match
+	f.Inject(in, &garbage)
+	stranger := mkCell(t, switchfab.MakeVCID(0, 999), 0)
+	f.Inject(in, &stranger)
+	f.Forward(0)
+	ps := in.Stats()
+	if ps.BadHeader != 1 || ps.Unroutable != 1 || ps.Forwarded != 0 {
+		t.Fatalf("stats %+v", ps)
+	}
+	if ps.Arrived != ps.BadHeader+ps.Unroutable {
+		t.Fatalf("conservation: %+v", ps)
+	}
+}
+
+func TestShaperPolicesExcess(t *testing.T) {
+	// Rate = 1 cell/sec, depth = 4 cells: an 8-cell burst at t=0 forwards
+	// exactly the bucket depth and polices the rest.
+	f := New(WithDepthCells(4))
+	in, _ := f.AddPort(1)
+	f.AddPort(2)
+	id := switchfab.VCID(5)
+	if err := f.AddVC(id, 2, CellPayloadBits); err != nil {
+		t.Fatal(err)
+	}
+	c := mkCell(t, id, 0)
+	for i := 0; i < 8; i++ {
+		f.Inject(in, &c)
+	}
+	f.Forward(0)
+	vs, _ := f.VCStats(id)
+	if vs.Forwarded != 4 || vs.Policed != 4 {
+		t.Fatalf("burst: %+v, want 4 forwarded / 4 policed", vs)
+	}
+	// One second later the bucket has earned exactly one more cell.
+	f.Inject(in, &c)
+	f.Inject(in, &c)
+	f.Forward(1e9)
+	vs, _ = f.VCStats(id)
+	if vs.Forwarded != 5 || vs.Policed != 5 {
+		t.Fatalf("after 1s: %+v, want 5/5", vs)
+	}
+}
+
+func TestSetVCRateRetargets(t *testing.T) {
+	f := New(WithDepthCells(1))
+	in, _ := f.AddPort(1)
+	f.AddPort(2)
+	id := switchfab.VCID(9)
+	if err := f.AddVC(id, 2, 0); err != nil { // zero rate: everything polices
+		t.Fatal(err)
+	}
+	c := mkCell(t, id, 0)
+	f.Inject(in, &c)
+	f.Forward(0) // drains the initial depth credit
+	f.Inject(in, &c)
+	f.Forward(1e9)
+	vs, _ := f.VCStats(id)
+	if vs.Policed != 1 {
+		t.Fatalf("zero-rate VC forwarded: %+v", vs)
+	}
+	// Retarget to 10 cells/sec; a second later a cell conforms again.
+	if err := f.SetVCRate(id, 10*CellPayloadBits); err != nil {
+		t.Fatal(err)
+	}
+	f.Inject(in, &c)
+	f.Forward(2e9)
+	vs, _ = f.VCStats(id)
+	if vs.Forwarded != 2 || vs.Rate != 10*CellPayloadBits {
+		t.Fatalf("after retarget: %+v", vs)
+	}
+	if err := f.SetVCRate(switchfab.VCID(1234), 1); err == nil {
+		t.Fatal("SetVCRate on unknown VC succeeded")
+	}
+	if err := f.SetVCRate(id, math.NaN()); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+}
+
+func TestEgressOverflowCounts(t *testing.T) {
+	f := New(WithRingCells(4), WithBurst(64), WithDepthCells(64))
+	in, _ := f.AddPort(1)
+	f.AddPort(2)
+	id := switchfab.VCID(7)
+	if err := f.AddVC(id, 2, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	c := mkCell(t, id, 0)
+	for i := 0; i < 4; i++ {
+		f.Inject(in, &c)
+	}
+	f.Forward(0) // fills the 4-slot egress ring, no transmit
+	for i := 0; i < 2; i++ {
+		f.Inject(in, &c)
+	}
+	f.Forward(0)
+	vs, _ := f.VCStats(id)
+	if vs.Forwarded != 4 || vs.Overflow != 2 {
+		t.Fatalf("%+v, want 4 forwarded / 2 overflow", vs)
+	}
+	if vs.Seen != vs.Forwarded+vs.Policed+vs.Overflow {
+		t.Fatalf("vc conservation: %+v", vs)
+	}
+}
+
+func TestRemoveVCOrphansQueuedCells(t *testing.T) {
+	f := New()
+	in, _ := f.AddPort(1)
+	out, _ := f.AddPort(2)
+	id := switchfab.VCID(11)
+	f.AddVC(id, 2, 1e9)
+	c := mkCell(t, id, 0)
+	f.Inject(in, &c)
+	f.Forward(0)
+	vs, err := f.RemoveVC(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Queued != 1 {
+		t.Fatalf("removed VC stats %+v, want Queued 1", vs)
+	}
+	f.Transmit(out, 8)
+	if os := out.Stats(); os.Orphaned != 1 || os.Transmitted != 1 {
+		t.Fatalf("egress stats %+v, want 1 orphan transmitted", os)
+	}
+	if _, err := f.RemoveVC(id); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+// TestConservationStorm is the ISSUE's invariant test: producers flood
+// every ingress port while the control plane retargets rates, and when the
+// dust settles every injected cell is accounted for exactly once — per
+// port, per VC, and globally. Run under -race via `make race`.
+func TestConservationStorm(t *testing.T) {
+	const (
+		ports       = 4
+		vcsPerPort  = 8
+		perProducer = 20000
+	)
+	reg := metrics.NewRegistry()
+	f := New(WithMetrics(reg), WithRingCells(64), WithBurst(16), WithDepthCells(2))
+	pp := make([]*Port, ports)
+	var ids []switchfab.VCID
+	for i := 0; i < ports; i++ {
+		p, err := f.AddPort(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp[i] = p
+	}
+	for i := 0; i < ports; i++ {
+		for v := 0; v < vcsPerPort; v++ {
+			id := switchfab.MakeVCID(uint8(i), uint16(1000+v))
+			// Egress on another port; mixed rates so some VCs police hard.
+			rate := float64(v) * 100 * CellPayloadBits
+			if err := f.AddVC(id, (i+1)%ports, rate); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var prodWG, pumpWG sync.WaitGroup
+	// One producer per ingress port (the SPSC contract).
+	for i := 0; i < ports; i++ {
+		prodWG.Add(1)
+		go func(i int) {
+			defer prodWG.Done()
+			p := pp[i]
+			cells := make([]Cell, vcsPerPort)
+			for v := range cells {
+				cells[v] = mkCell(t, switchfab.MakeVCID(uint8(i), uint16(1000+v)), uint64(v))
+			}
+			for n := 0; n < perProducer; n++ {
+				// Full rings are honest wire drops — not counted as
+				// arrived, so just move on (after yielding so the pump
+				// gets CPU time on a single-core box).
+				if !f.Inject(p, &cells[n%vcsPerPort]) {
+					runtime.Gosched()
+				}
+			}
+		}(i)
+	}
+	// The control plane renegotiates concurrently.
+	pumpWG.Add(1)
+	go func() {
+		defer pumpWG.Done()
+		r := uint64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r = r*6364136223846793005 + 1
+			id := ids[r%uint64(len(ids))]
+			f.SetVCRate(id, float64(r%1000)*CellPayloadBits)
+			runtime.Gosched()
+		}
+	}()
+	// The forwarder goroutine pumps until producers finish and rings drain.
+	pumpWG.Add(1)
+	go func() {
+		defer pumpWG.Done()
+		now := int64(0)
+		for {
+			moved := f.Forward(now)
+			for _, p := range pp {
+				moved += f.Transmit(p, 32)
+			}
+			now += 1e6
+			select {
+			case <-done:
+				drain(f, pp, now, 1e6)
+				return
+			default:
+			}
+			if moved == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	// Join the producers first, so the pump's final drain runs with no one
+	// still injecting; then stop the control plane and the pump.
+	prodWG.Wait()
+	close(stop)
+	close(done)
+	pumpWG.Wait()
+
+	// Global, per-port, and per-VC conservation — exact.
+	var arrived, sunk int64
+	for i, p := range pp {
+		ps := p.Stats()
+		if ps.InQueued != 0 || ps.OutQueued != 0 {
+			t.Fatalf("port %d not drained: %+v", i, ps)
+		}
+		if got := ps.BadHeader + ps.Unroutable + ps.Policed + ps.Overflow + ps.Forwarded; got != ps.Arrived {
+			t.Fatalf("port %d ingress conservation: %+v (sum %d)", i, ps, got)
+		}
+		if ps.Enqueued != ps.Transmitted {
+			t.Fatalf("port %d egress conservation: %+v", i, ps)
+		}
+		arrived += ps.Arrived
+		sunk += ps.BadHeader + ps.Unroutable + ps.Policed + ps.Overflow + ps.Forwarded
+	}
+	var vcSeen int64
+	for _, id := range ids {
+		vs, ok := f.VCStats(id)
+		if !ok {
+			t.Fatalf("vc %s vanished", id)
+		}
+		if vs.Seen != vs.Forwarded+vs.Policed+vs.Overflow {
+			t.Fatalf("vc %s conservation: %+v", id, vs)
+		}
+		if vs.Queued != 0 {
+			t.Fatalf("vc %s still queued after drain: %+v", id, vs)
+		}
+		vcSeen += vs.Seen
+	}
+	if arrived != sunk {
+		t.Fatalf("global conservation: arrived %d != accounted %d", arrived, sunk)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricCellsArrived] != arrived {
+		t.Fatalf("metric arrived %d != port sum %d", snap.Counters[MetricCellsArrived], arrived)
+	}
+	if got := snap.Counters[MetricCellsForwarded] + snap.Counters[MetricCellsPoliced] +
+		snap.Counters[MetricCellsOverflow] + snap.Counters[MetricCellsUnroutable] +
+		snap.Counters[MetricCellsBadHeader]; got != arrived {
+		t.Fatalf("metric conservation: %d != %d", got, arrived)
+	}
+	if vcSeen != arrived {
+		t.Fatalf("vc seen %d != arrived %d (every cell was routable)", vcSeen, arrived)
+	}
+}
+
+// TestForwardSteadyStateAllocs pins the tentpole acceptance criterion: the
+// inject → forward → transmit cycle allocates nothing in steady state.
+func TestForwardSteadyStateAllocs(t *testing.T) {
+	f := New(WithBurst(32))
+	in, _ := f.AddPort(1)
+	out, _ := f.AddPort(2)
+	const vcs = 64
+	cells := make([]Cell, vcs)
+	for v := 0; v < vcs; v++ {
+		id := switchfab.MakeVCID(0, uint16(100+v))
+		if err := f.AddVC(id, 2, 1e12); err != nil {
+			t.Fatal(err)
+		}
+		cells[v] = mkCell(t, id, uint64(v))
+	}
+	now := int64(0)
+	cycle := func() {
+		for v := range cells {
+			f.Inject(in, &cells[v])
+		}
+		now += 1e6
+		f.Forward(now)
+		f.Transmit(out, vcs)
+	}
+	cycle() // warm up: first-cell clock init, cache warming
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state forwarding allocates %.1f per cycle, want 0", allocs)
+	}
+}

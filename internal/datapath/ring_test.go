@@ -1,0 +1,114 @@
+package datapath
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {1000, 1024}, {1024, 1024},
+	} {
+		if got := NewRing(tc.ask).Capacity(); got != tc.want {
+			t.Errorf("NewRing(%d).Capacity() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingFIFOAndFull(t *testing.T) {
+	r := NewRing(4)
+	var c Cell
+	for i := 0; i < 4; i++ {
+		c[0] = byte(i)
+		if !r.Push(&c) {
+			t.Fatalf("push %d refused on non-full ring", i)
+		}
+	}
+	if r.Push(&c) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		got := r.Peek()
+		if got == nil {
+			t.Fatalf("peek %d on non-empty ring returned nil", i)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("cell %d out of order: got %d", i, got[0])
+		}
+		r.Advance()
+	}
+	if r.Peek() != nil {
+		t.Fatal("peek on empty ring returned a cell")
+	}
+	// Wrap around: indices keep counting past capacity.
+	for round := 0; round < 10; round++ {
+		c[0] = byte(round)
+		if !r.Push(&c) {
+			t.Fatalf("round %d: push refused", round)
+		}
+		got := r.Peek()
+		if got == nil || got[0] != byte(round) {
+			t.Fatalf("round %d: bad peek", round)
+		}
+		r.Advance()
+	}
+}
+
+// TestRingSPSCStorm runs one producer against one consumer and checks,
+// under the race detector in `make race`, that every cell arrives exactly
+// once,
+// in order, with intact contents — the memory-ordering claim of the Ring
+// doc comment made executable.
+func TestRingSPSCStorm(t *testing.T) {
+	const total = 200000
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var c Cell
+		for i := uint64(0); i < total; {
+			binary.BigEndian.PutUint64(c[:8], i)
+			// Body bytes derived from i so a torn read is visible.
+			b := byte(i)
+			for j := 8; j < len(c); j++ {
+				c[j] = b + byte(j)
+			}
+			if r.Push(&c) {
+				i++
+			} else {
+				// Ring full: yield so the consumer runs even on one CPU.
+				runtime.Gosched()
+			}
+		}
+	}()
+	var got uint64
+	for got < total {
+		c := r.Peek()
+		if c == nil {
+			runtime.Gosched()
+			continue
+		}
+		i := binary.BigEndian.Uint64(c[:8])
+		if i != got {
+			t.Fatalf("cell %d arrived when %d expected", i, got)
+		}
+		b := byte(i)
+		for j := 8; j < len(c); j++ {
+			if c[j] != b+byte(j) {
+				t.Fatalf("cell %d: torn byte %d", i, j)
+			}
+		}
+		r.Advance()
+		got++
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after storm: %d", r.Len())
+	}
+}

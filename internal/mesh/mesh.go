@@ -97,7 +97,7 @@ type Mesh struct {
 	hopTimeout time.Duration
 	delayScale float64
 	reg        *metrics.Registry
-	events     *metrics.EventRing
+	events     *metrics.EventLog
 	ins        instruments
 
 	mu    sync.Mutex
@@ -123,7 +123,7 @@ func WithMetrics(reg *metrics.Registry) Option {
 }
 
 // WithEvents records path- and hop-level lifecycle events into ring.
-func WithEvents(ring *metrics.EventRing) Option {
+func WithEvents(ring *metrics.EventLog) Option {
 	return func(m *Mesh) { m.events = ring }
 }
 

@@ -76,7 +76,7 @@ func TestTopologyErrors(t *testing.T) {
 
 func TestSetupAndTeardown(t *testing.T) {
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(64)
+	ring := metrics.NewEventLog(64)
 	m, hops := line(t, 3, 1e6, 0, WithMetrics(reg), WithEvents(ring))
 	ctx := context.Background()
 	id := switchfab.MakeVCID(1, 7)
@@ -215,7 +215,7 @@ func TestRenegotiatePartialSettlesAtMin(t *testing.T) {
 
 func TestRenegotiateFlatDenialRollsBack(t *testing.T) {
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(64)
+	ring := metrics.NewEventLog(64)
 	m, hops := line(t, 3, 1e6, 0, WithMetrics(reg), WithEvents(ring))
 	ctx := context.Background()
 	// Saturate hop c completely: zero headroom for any increase.
@@ -337,7 +337,7 @@ func (s stuck) RenegotiateBest(ctx context.Context, id switchfab.VCID, current, 
 
 func TestHopTimeoutUnwedgesPath(t *testing.T) {
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(64)
+	ring := metrics.NewEventLog(64)
 	m := New(WithHopTimeout(25*time.Millisecond), WithMetrics(reg), WithEvents(ring))
 	swA, swB := switchfab.New(nil), switchfab.New(nil)
 	if err := swB.AddPort(1, 1e6); err != nil {

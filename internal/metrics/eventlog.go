@@ -122,28 +122,28 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// EventRing is a fixed-capacity ring buffer of per-VC events. Recording is
+// EventLog is a fixed-capacity circular log of per-VC events. Recording is
 // O(1), allocation-free, and overwrites the oldest entry when full. All
 // methods are safe for concurrent use and on a nil receiver (which drops
 // events).
-type EventRing struct {
+type EventLog struct {
 	mu    sync.Mutex
 	buf   []Event
 	next  int    // index of the slot the next event goes into
 	total uint64 // events ever recorded
 }
 
-// NewEventRing returns a ring holding the last n events (minimum 1).
-func NewEventRing(n int) *EventRing {
+// NewEventLog returns a ring holding the last n events (minimum 1).
+func NewEventLog(n int) *EventLog {
 	if n < 1 {
 		n = 1
 	}
-	return &EventRing{buf: make([]Event, 0, n)}
+	return &EventLog{buf: make([]Event, 0, n)}
 }
 
 // Record stamps the event's sequence number (and its time, if unset) and
 // stores it, overwriting the oldest event when the ring is full.
-func (r *EventRing) Record(e Event) {
+func (r *EventLog) Record(e Event) {
 	if r == nil {
 		return
 	}
@@ -163,7 +163,7 @@ func (r *EventRing) Record(e Event) {
 }
 
 // Total returns the number of events ever recorded (not just retained).
-func (r *EventRing) Total() uint64 {
+func (r *EventLog) Total() uint64 {
 	if r == nil {
 		return 0
 	}
@@ -173,7 +173,7 @@ func (r *EventRing) Total() uint64 {
 }
 
 // Events returns the retained events, oldest first.
-func (r *EventRing) Events() []Event {
+func (r *EventLog) Events() []Event {
 	if r == nil {
 		return nil
 	}
@@ -196,7 +196,7 @@ type eventDump struct {
 
 // WriteJSON writes the retained events (oldest first) as one indented JSON
 // object: {"total_events": N, "retained_events": M, "events": [...]}.
-func (r *EventRing) WriteJSON(w io.Writer) error {
+func (r *EventLog) WriteJSON(w io.Writer) error {
 	events := r.Events()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -34,7 +34,7 @@ func TestNilSafety(t *testing.T) {
 	c := r.Counter("x")
 	g := r.Gauge("x")
 	h := r.Histogram("x", DefBuckets)
-	var ring *EventRing
+	var ring *EventLog
 	// All of these must be no-ops, not panics.
 	c.Inc()
 	c.Add(2)
@@ -152,8 +152,8 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEventRingWrapAround(t *testing.T) {
-	ring := NewEventRing(3)
+func TestEventLogWrapAround(t *testing.T) {
+	ring := NewEventLog(3)
 	for i := 1; i <= 5; i++ {
 		ring.Record(Event{Kind: EventRenegGrant, VCI: uint16(i), Rate: float64(i)})
 	}
@@ -174,8 +174,8 @@ func TestEventRingWrapAround(t *testing.T) {
 	}
 }
 
-func TestEventRingPartialFill(t *testing.T) {
-	ring := NewEventRing(8)
+func TestEventLogPartialFill(t *testing.T) {
+	ring := NewEventLog(8)
 	ring.Record(Event{Kind: EventSetup, VCI: 9, Port: 1, Rate: 1e5})
 	ring.Record(Event{Kind: EventTeardown, VCI: 9, Port: 1})
 	evs := ring.Events()
@@ -185,7 +185,7 @@ func TestEventRingPartialFill(t *testing.T) {
 }
 
 func TestEventJSONSchema(t *testing.T) {
-	ring := NewEventRing(4)
+	ring := NewEventLog(4)
 	ring.Record(Event{
 		Time: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
 		Kind: EventRenegDeny, VCI: 7, Port: 2, Rate: 100e3, Requested: 300e3,

@@ -62,14 +62,15 @@ func RunCBR(flows []Flow, linkCellRate float64, bufferCells int, durationSec flo
 	if linkCellRate <= 0 || bufferCells < 0 || durationSec <= 0 {
 		panic("mux: invalid RunCBR arguments")
 	}
-	credits := make([]float64, len(flows))
+	phases := make([]float64, len(flows))
 	rates := make([]float64, len(flows))
+	emitted := make([]int64, len(flows))
 	for i, f := range flows {
 		if f.CellsPerSec < 0 || f.CellsPerSec > linkCellRate {
 			panic(fmt.Sprintf("mux: flow %d rate %g outside [0, link %g]",
 				i, f.CellsPerSec, linkCellRate))
 		}
-		credits[i] = math.Mod(math.Abs(f.Phase), 1)
+		phases[i] = math.Mod(math.Abs(f.Phase), 1)
 		rates[i] = f.CellsPerSec / linkCellRate // cells per tick
 	}
 	ticks := int64(durationSec * linkCellRate)
@@ -77,10 +78,15 @@ func RunCBR(flows []Flow, linkCellRate float64, bufferCells int, durationSec flo
 	res.Ticks = ticks
 	queue := 0
 	for t := int64(0); t < ticks; t++ {
-		for i := range credits {
-			credits[i] += rates[i]
-			if credits[i] >= 1 {
-				credits[i]--
+		for i := range rates {
+			// Drift-free arrival law: by the end of tick t the flow has
+			// emitted floor(phase + rate*(t+1)) cells. One rounding per
+			// evaluation — unlike a running credits[i] += rates[i] sum,
+			// whose error grows with t and skews arrival timing for
+			// non-dyadic rates (summing 0.1 ten million times is short by
+			// a whole cell).
+			if target := int64(phases[i] + rates[i]*float64(t+1)); target > emitted[i] {
+				emitted[i] = target
 				res.ArrivedCells++
 				res.SumQueueOnArrival += int64(queue)
 				if queue >= bufferCells {

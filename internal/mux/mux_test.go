@@ -112,6 +112,31 @@ func TestConservation(t *testing.T) {
 	}
 }
 
+// TestNoPhaseAccumulationDrift pins the drift-free arrival law: a flow at
+// link/10 cells per tick must deliver exactly rate*duration cells over any
+// horizon. The old implementation accumulated credits[i] += 0.1 per tick;
+// ten million rounded additions of 0.1 fall short by ~1.6e-4, which is a
+// whole missing cell by the end of this run (and mistimed arrivals long
+// before that).
+func TestNoPhaseAccumulationDrift(t *testing.T) {
+	const link = 1000.0
+	res := RunCBR([]Flow{{CellsPerSec: link / 10}}, link, 4, 10000)
+	if res.Ticks != 10_000_000 {
+		t.Fatalf("ticks = %d", res.Ticks)
+	}
+	if res.ArrivedCells != 1_000_000 {
+		t.Fatalf("arrivals = %d, want exactly 1000000", res.ArrivedCells)
+	}
+	if res.LostCells != 0 || res.MaxQueueCells > 1 {
+		t.Fatalf("a lone conforming CBR flow queued: %+v", res)
+	}
+	// Same law with a phase offset: the offset shifts timing, never count.
+	res = RunCBR([]Flow{{CellsPerSec: link / 10, Phase: 0.999}}, link, 4, 10000)
+	if res.ArrivedCells != 1_000_000 {
+		t.Fatalf("phased arrivals = %d, want exactly 1000000", res.ArrivedCells)
+	}
+}
+
 func TestPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"bad link":     func() { RunCBR(nil, 0, 1, 1) },

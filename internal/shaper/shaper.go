@@ -40,6 +40,18 @@ func New(rate, depth float64) *TokenBucket {
 // Rate returns the token rate in bits/second.
 func (tb *TokenBucket) Rate() float64 { return tb.rate }
 
+// SetRate retargets the token rate in place. The current token level is
+// kept — the bucket is not refilled — so after a renegotiation the VC
+// spends whatever credit it had already earned at the old rate and then
+// accrues at the new one. It panics on a negative or NaN rate; +Inf is
+// likewise rejected, matching the fabric's notion of a valid rate.
+func (tb *TokenBucket) SetRate(rate float64) {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 1) {
+		panic("shaper: invalid rate")
+	}
+	tb.rate = rate
+}
+
 // Depth returns the bucket depth in bits.
 func (tb *TokenBucket) Depth() float64 { return tb.depth }
 

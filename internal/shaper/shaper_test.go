@@ -39,13 +39,39 @@ func TestBucketBasics(t *testing.T) {
 	}
 }
 
+func TestSetRate(t *testing.T) {
+	tb := New(100, 50)
+	if !tb.Take(50) {
+		t.Fatal("full bucket refused 50")
+	}
+	tb.SetRate(10)
+	if tb.Rate() != 10 {
+		t.Fatalf("Rate() = %g after SetRate(10)", tb.Rate())
+	}
+	if tb.Tokens() != 0 {
+		t.Fatalf("SetRate disturbed the token level: %g", tb.Tokens())
+	}
+	tb.Tick(1) // one second at the new rate
+	if tb.Tokens() != 10 {
+		t.Fatalf("tokens after retarget+tick = %g, want 10", tb.Tokens())
+	}
+	tb.SetRate(0)
+	tb.Tick(100)
+	if tb.Tokens() != 10 {
+		t.Fatalf("zero-rate bucket refilled: %g", tb.Tokens())
+	}
+}
+
 func TestBucketPanics(t *testing.T) {
 	for name, f := range map[string]func(){
-		"neg rate":  func() { New(-1, 1) },
-		"neg depth": func() { New(1, -1) },
-		"neg tick":  func() { New(1, 1).Tick(-1) },
-		"neg take":  func() { New(1, 1).Take(-1) },
-		"neg upto":  func() { New(1, 1).TakeUpTo(-1) },
+		"neg rate":    func() { New(-1, 1) },
+		"neg depth":   func() { New(1, -1) },
+		"neg tick":    func() { New(1, 1).Tick(-1) },
+		"neg take":    func() { New(1, 1).Take(-1) },
+		"neg upto":    func() { New(1, 1).TakeUpTo(-1) },
+		"setrate neg": func() { New(1, 1).SetRate(-1) },
+		"setrate nan": func() { New(1, 1).SetRate(math.NaN()) },
+		"setrate inf": func() { New(1, 1).SetRate(math.Inf(1)) },
 	} {
 		func() {
 			defer func() {

@@ -62,7 +62,7 @@ func TestSetupRejectsNonFiniteRates(t *testing.T) {
 // negative reaches it) and checks it is counted, metered, and traced.
 func TestReservedClampInstrumented(t *testing.T) {
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(8)
+	ring := metrics.NewEventLog(8)
 	s := New(WithMetrics(reg), WithEventTrace(ring))
 	if err := s.AddPort(1, 1e6); err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ import (
 // instrumented hot path.
 func TestConcurrentRenegotiationMetrics(t *testing.T) {
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(64)
+	ring := metrics.NewEventLog(64)
 	sw := New(WithMetrics(reg), WithEventTrace(ring))
 	// Each worker ratchets its requested rate upward, so the port saturates
 	// under every interleaving: early increases are granted, later ones
@@ -106,7 +106,7 @@ func TestConcurrentRenegotiationMetrics(t *testing.T) {
 // plain setup → renegotiate → deny → teardown sequence.
 func TestMetricsMirrorSwitchState(t *testing.T) {
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(16)
+	ring := metrics.NewEventLog(16)
 	sw := New(WithMetrics(reg), WithEventTrace(ring))
 	if err := sw.AddPort(7, 1e6); err != nil {
 		t.Fatal(err)
@@ -167,7 +167,7 @@ func TestMetricsMirrorSwitchState(t *testing.T) {
 // duplicate drop, and missing-VC error alike.
 func TestResyncEventsAndLatencyAccounting(t *testing.T) {
 	reg := metrics.NewRegistry()
-	ring := metrics.NewEventRing(16)
+	ring := metrics.NewEventLog(16)
 	sw := New(WithMetrics(reg), WithEventTrace(ring))
 	if err := sw.AddPort(1, 1e6); err != nil {
 		t.Fatal(err)

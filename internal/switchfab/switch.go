@@ -157,6 +157,22 @@ type LifecycleAdmitter interface {
 	OnDepart(port int, id VCID, rate float64)
 }
 
+// DataPlane mirrors VC lifecycle changes into a forwarding plane (the cell
+// data path of internal/datapath, or any other consumer of granted rates).
+// Every hook runs with the affected VC's shard and port locks held, after
+// the reservation bookkeeping succeeded, so the data plane sees lifecycle
+// events in the exact order the control plane committed them and never a
+// rate the fabric rejected. Hooks must not block and must not call back
+// into the switch.
+type DataPlane interface {
+	// OnSetup notifies that VC id was admitted to egress port at rate.
+	OnSetup(port int, id VCID, rate float64)
+	// OnRateChange notifies that VC id's granted rate is now rate.
+	OnRateChange(port int, id VCID, rate float64)
+	// OnTeardown notifies that VC id left port.
+	OnTeardown(port int, id VCID)
+}
+
 // Stats is a snapshot of switch activity counters.
 type Stats struct {
 	Setups         int64
@@ -341,11 +357,13 @@ type Switch struct {
 	// lifecycle is admitter's LifecycleAdmitter form, resolved once at
 	// construction so the setup path never repeats the type assertion.
 	lifecycle LifecycleAdmitter
+	// dataplane, when set, receives every committed VC lifecycle change.
+	dataplane DataPlane
 	stats     statCounters
 
 	reg    *metrics.Registry
 	ins    instruments
-	events *metrics.EventRing
+	events *metrics.EventLog
 }
 
 // Option configures a Switch at construction time. A nil Option is ignored,
@@ -367,8 +385,16 @@ func WithMetrics(reg *metrics.Registry) Option {
 
 // WithEventTrace records per-VC lifecycle events (setup, renegotiate-grant,
 // renegotiate-deny, resync, teardown, ...) into ring.
-func WithEventTrace(ring *metrics.EventRing) Option {
+func WithEventTrace(ring *metrics.EventLog) Option {
 	return func(s *Switch) { s.events = ring }
+}
+
+// WithDataPlane attaches a forwarding plane: every committed setup, granted
+// rate change, and teardown is mirrored into dp under the switch's locks,
+// so a renegotiation atomically retargets the VC's shaper the moment it is
+// granted.
+func WithDataPlane(dp DataPlane) Option {
+	return func(s *Switch) { s.dataplane = dp }
 }
 
 // WithShards sets the VC-table shard count, rounded up to a power of two
@@ -550,6 +576,9 @@ func (s *Switch) SetupID(id VCID, portID int, rate float64) error {
 	if s.lifecycle != nil {
 		s.lifecycle.OnAdmit(portID, id, rate)
 	}
+	if s.dataplane != nil {
+		s.dataplane.OnSetup(portID, id, rate)
+	}
 	s.vcCount.Add(1)
 	s.noteShardSize(len(sh.vcs))
 	s.stats.setups.Add(1)
@@ -648,6 +677,9 @@ func (s *Switch) TeardownID(id VCID) error {
 	s.setReserved(p, p.reserved-vc.rate)
 	if s.lifecycle != nil {
 		s.lifecycle.OnDepart(p.id, id, vc.rate)
+	}
+	if s.dataplane != nil {
+		s.dataplane.OnTeardown(p.id, id)
 	}
 	p.mu.Unlock()
 	delete(sh.vcs, id)
@@ -794,6 +826,9 @@ func (s *Switch) applyRate(id VCID, vc *vcState, p *port, newRate, requested flo
 		vc.rate = newRate
 		if s.lifecycle != nil && newRate != old {
 			s.lifecycle.OnRateChange(p.id, id, old, newRate)
+		}
+		if s.dataplane != nil && newRate != old {
+			s.dataplane.OnRateChange(p.id, id, newRate)
 		}
 		s.ins.grants.Inc()
 		ev := metrics.Event{

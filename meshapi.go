@@ -58,7 +58,7 @@ func WithMeshMetrics(reg *MetricsRegistry) MeshOption { return mesh.WithMetrics(
 // WithMeshEvents records a Mesh's path- and hop-level lifecycle events
 // (path-setup, path-grant, path-deny, hop-timeout, hop-rollback, ...)
 // into ring.
-func WithMeshEvents(ring *EventRing) MeshOption { return mesh.WithEvents(ring) }
+func WithMeshEvents(ring *EventLog) MeshOption { return mesh.WithEvents(ring) }
 
 // WithMeshDelayScale scales every modeled propagation wait; 1 (the
 // default) waits link delays out in real time, 0 disables waiting for
@@ -82,7 +82,7 @@ func NewMeshHop(name string, tr HopTransport, port int, delay time.Duration) Hop
 
 // MeshHopLatencyHistogram returns the metric name of the named hop's
 // renegotiation-latency histogram. Path- and hop-level events appear in
-// the shared EventRing under the kinds "path-setup", "path-setup-fail",
+// the shared EventLog under the kinds "path-setup", "path-setup-fail",
 // "path-grant", "path-partial", "path-deny", "path-teardown",
 // "hop-timeout", and "hop-rollback" (Event.Kind.String()).
 func MeshHopLatencyHistogram(hop string) string {

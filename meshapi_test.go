@@ -14,7 +14,7 @@ import (
 // counter-offer error, and teardown.
 func TestMeshFacade(t *testing.T) {
 	reg := rcbr.NewMetricsRegistry()
-	ring := rcbr.NewEventRing(64)
+	ring := rcbr.NewEventLog(64)
 	m := rcbr.NewMesh(
 		rcbr.WithHopTimeout(2*time.Second),
 		rcbr.WithMeshMetrics(reg),

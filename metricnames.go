@@ -1,6 +1,7 @@
 package rcbr
 
 import (
+	"rcbr/internal/datapath"
 	"rcbr/internal/heuristic"
 	"rcbr/internal/mesh"
 	"rcbr/internal/netproto"
@@ -71,6 +72,18 @@ const (
 	MetricHeuristicLowCrossings  = heuristic.MetricLowCrossings
 	MetricHeuristicRateGauge     = heuristic.MetricRateGauge
 	MetricHeuristicOccupancy     = heuristic.MetricOccupancy
+
+	// Cell data path (owner: internal/datapath).
+	MetricDataPathCellsArrived     = datapath.MetricCellsArrived
+	MetricDataPathCellsForwarded   = datapath.MetricCellsForwarded
+	MetricDataPathCellsPoliced     = datapath.MetricCellsPoliced
+	MetricDataPathCellsOverflow    = datapath.MetricCellsOverflow
+	MetricDataPathCellsUnroutable  = datapath.MetricCellsUnroutable
+	MetricDataPathCellsBadHeader   = datapath.MetricCellsBadHeader
+	MetricDataPathCellsTransmitted = datapath.MetricCellsTransmitted
+	MetricDataPathForwardBatches   = datapath.MetricForwardBatches
+	MetricDataPathVCMisses         = datapath.MetricVCMisses
+	MetricDataPathBatchCells       = datapath.MetricBatchCells
 
 	// Multi-hop mesh (owner: internal/mesh).
 	MetricMeshSetups        = mesh.MetricMeshSetups

@@ -54,7 +54,7 @@
 // trigger/failure counters and buffer threshold crossings; admission
 // controllers wrapped with InstrumentAdmission count per-policy decisions.
 // Registry.Snapshot returns a plain JSON-marshalable struct. A switch given
-// an *EventRing (WithSwitchEvents) additionally records per-VC lifecycle
+// an *EventLog (WithSwitchEvents) additionally records per-VC lifecycle
 // events (setup, renegotiate-grant, renegotiate-deny, teardown) that the ring
 // dumps as JSON. Command rcbrd serves both over HTTP (-http) as /metrics and
 // /vcs.
@@ -143,8 +143,14 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a registry's instruments,
 	// marshalable to JSON.
 	MetricsSnapshot = metrics.Snapshot
-	// EventRing retains the most recent per-VC lifecycle events.
-	EventRing = metrics.EventRing
+	// EventLog retains the most recent per-VC lifecycle events.
+	EventLog = metrics.EventLog
+	// EventRing is the EventLog's former name.
+	//
+	// Deprecated: use EventLog. "Ring" names are reserved for the lock-free
+	// SPSC rings of the cell data path (enforced by rcbrlint's never-ring
+	// rule); the event log is a mutex-guarded circular log.
+	EventRing = metrics.EventLog
 	// Event is one per-VC lifecycle event.
 	Event = metrics.Event
 
@@ -254,8 +260,13 @@ func IsTimeout(err error) bool {
 // components.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
-// NewEventRing returns a ring retaining the last n per-VC lifecycle events.
-func NewEventRing(n int) *EventRing { return metrics.NewEventRing(n) }
+// NewEventLog returns a log retaining the last n per-VC lifecycle events.
+func NewEventLog(n int) *EventLog { return metrics.NewEventLog(n) }
+
+// NewEventRing returns a log retaining the last n per-VC lifecycle events.
+//
+// Deprecated: use NewEventLog.
+func NewEventRing(n int) *EventLog { return metrics.NewEventLog(n) }
 
 // WithAdmitter installs a call-admission policy on a Switch.
 func WithAdmitter(a Admitter) SwitchOption { return switchfab.WithAdmitter(a) }
@@ -265,7 +276,7 @@ func WithAdmitter(a Admitter) SwitchOption { return switchfab.WithAdmitter(a) }
 func WithSwitchMetrics(reg *MetricsRegistry) SwitchOption { return switchfab.WithMetrics(reg) }
 
 // WithSwitchEvents records a Switch's per-VC lifecycle events into ring.
-func WithSwitchEvents(ring *EventRing) SwitchOption { return switchfab.WithEventTrace(ring) }
+func WithSwitchEvents(ring *EventLog) SwitchOption { return switchfab.WithEventTrace(ring) }
 
 // WithSwitchShards sets how many lock domains a Switch spreads its VC state
 // over (rounded up to a power of two; 1 restores the legacy single global

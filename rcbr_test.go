@@ -105,7 +105,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 // sentinel errors holding their identity across the UDP signaling path.
 func TestObservabilityAndErrors(t *testing.T) {
 	reg := rcbr.NewMetricsRegistry()
-	ring := rcbr.NewEventRing(32)
+	ring := rcbr.NewEventLog(32)
 	sw := rcbr.NewSwitch(nil, rcbr.WithSwitchMetrics(reg), rcbr.WithSwitchEvents(ring))
 	if err := sw.AddPort(1, 1e6); err != nil {
 		t.Fatal(err)
