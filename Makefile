@@ -13,7 +13,7 @@ RACE_PKGS := ./internal/switchfab/ ./internal/netproto/ ./internal/metrics/ ./in
 # target (each with its own -run filter, so they get explicit recipe lines).
 # TestMakefileRaceParallelSync asserts the recipe stays in sync with this
 # list — update both together.
-RACE_PARALLEL_PKGS := ./internal/trellis/ ./internal/experiments/ ./internal/switchfab/
+RACE_PARALLEL_PKGS := ./internal/trellis/ ./internal/experiments/ ./internal/switchfab/ ./internal/datapath/
 
 # Per-fuzz-target smoke budget. `go test -fuzz` takes one target per
 # invocation, hence the explicit list.
@@ -53,11 +53,14 @@ race:
 
 # race-parallel covers the worker pools added for the parallel optimizer
 # and the experiment sweep runner, plus the sharded-fabric churn shim behind
-# the scaling benchmarks.
+# the scaling benchmarks. The datapath line pins GOMAXPROCS=4 so the
+# port-group goroutines truly interleave under the detector even on
+# smaller CI runners.
 race-parallel:
 	$(GO) test -race -run 'Parallel' ./internal/trellis/
 	$(GO) test -race -run 'Sweep|Fig|MBAC|Latency|Chernoff' ./internal/experiments/
 	$(GO) test -race -run 'Parallel' ./internal/switchfab/
+	GOMAXPROCS=4 $(GO) test -race -run 'Conservation|Run|MPSC' ./internal/datapath/
 
 # fuzz smokes every fuzz target for FUZZTIME each: long enough to catch
 # shallow regressions in the parsers, short enough for every CI run.

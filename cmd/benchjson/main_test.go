@@ -81,12 +81,15 @@ func TestCompareBaselines(t *testing.T) {
 		Result{Name: "BenchmarkB", NsPerOp: 200}, // +100%: regression
 		Result{Name: "BenchmarkNew", NsPerOp: 50})
 	var buf strings.Builder
-	regressed, err := compareBaselines(&buf, oldPath, newPath, 15)
+	cmp, err := compareBaselines(&buf, oldPath, newPath, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !regressed {
+	if !cmp.nsRegressed {
 		t.Error("2x slowdown not flagged as a regression")
+	}
+	if cmp.allocBroken {
+		t.Error("timing-only regression reported as an alloc break")
 	}
 	out := buf.String()
 	for _, want := range []string{"REGRESSED", "BenchmarkB", "no baseline", "not in new run"} {
@@ -96,8 +99,8 @@ func TestCompareBaselines(t *testing.T) {
 	}
 	// At a 150% threshold the same pair passes: new and gone benchmarks are
 	// advisory only.
-	if regressed, err = compareBaselines(&buf, oldPath, newPath, 150); err != nil || regressed {
-		t.Errorf("regressed=%v err=%v at 150%% threshold", regressed, err)
+	if cmp, err = compareBaselines(&buf, oldPath, newPath, 150); err != nil || cmp.nsRegressed || cmp.allocBroken {
+		t.Errorf("cmp=%+v err=%v at 150%% threshold", cmp, err)
 	}
 }
 
@@ -112,6 +115,30 @@ func TestCompareBaselinesBadFile(t *testing.T) {
 	}
 	if _, err := compareBaselines(&strings.Builder{}, bad, good, 15); err == nil {
 		t.Error("malformed baseline accepted")
+	}
+}
+
+// The two failure kinds stay separate, so -gate zeroalloc can pass a run
+// that slowed down but still forwards without allocating — and still fail
+// a run that allocates, whatever its timing.
+func TestCompareGateSplit(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json",
+		Result{Name: "BenchmarkDataPathForwardParallel1", NsPerOp: 100})
+	slowPath := writeBaseline(t, "slow.json",
+		Result{Name: "BenchmarkDataPathForwardParallel1", NsPerOp: 300})
+	cmp, err := compareBaselines(&strings.Builder{}, oldPath, slowPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.nsRegressed || cmp.allocBroken {
+		t.Errorf("3x slowdown with 0 allocs: cmp=%+v, want nsRegressed only", cmp)
+	}
+	allocPath := writeBaseline(t, "alloc.json",
+		Result{Name: "BenchmarkDataPathForwardParallel1", NsPerOp: 100, AllocsPerOp: 2})
+	if cmp, err = compareBaselines(&strings.Builder{}, oldPath, allocPath, 15); err != nil {
+		t.Fatal(err)
+	} else if !cmp.allocBroken || cmp.nsRegressed {
+		t.Errorf("2 allocs/op at flat timing: cmp=%+v, want allocBroken only", cmp)
 	}
 }
 
@@ -151,11 +178,11 @@ func TestCompareZeroAllocContract(t *testing.T) {
 		Result{Name: "BenchmarkDataPathForward4Port1kVC", NsPerOp: 100, AllocsPerOp: 1},
 		Result{Name: "BenchmarkFig2OPT", NsPerOp: 100, AllocsPerOp: 9000})
 	var buf strings.Builder
-	regressed, err := compareBaselines(&buf, oldPath, newPath, 15)
+	cmp, err := compareBaselines(&buf, oldPath, newPath, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !regressed {
+	if !cmp.allocBroken {
 		t.Errorf("1 alloc/op on a zero-alloc bench not flagged:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "ALLOCS") {
@@ -167,8 +194,8 @@ func TestCompareZeroAllocContract(t *testing.T) {
 		Result{Name: "BenchmarkDataPathForward4Port1kVC", NsPerOp: 100},
 		Result{Name: "BenchmarkFabricCellParse", NsPerOp: 10}, // new, no baseline
 		Result{Name: "BenchmarkFig2OPT", NsPerOp: 100, AllocsPerOp: 9000})
-	if regressed, err = compareBaselines(&strings.Builder{}, oldPath, cleanPath, 15); err != nil || regressed {
-		t.Errorf("clean zero-alloc run failed the gate: regressed=%v err=%v", regressed, err)
+	if cmp, err = compareBaselines(&strings.Builder{}, oldPath, cleanPath, 15); err != nil || cmp.nsRegressed || cmp.allocBroken {
+		t.Errorf("clean zero-alloc run failed the gate: cmp=%+v err=%v", cmp, err)
 	}
 }
 

@@ -1,0 +1,154 @@
+package datapath
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMPSCRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {1000, 1024}, {1024, 1024},
+	} {
+		if got := NewMPSCRing(tc.ask).Capacity(); got != tc.want {
+			t.Errorf("NewMPSCRing(%d).Capacity() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestMPSCRingFIFOAndFull(t *testing.T) {
+	r := NewMPSCRing(4)
+	var c Cell
+	for i := 0; i < 4; i++ {
+		c[0] = byte(i)
+		if !r.Push(&c) {
+			t.Fatalf("push %d refused on non-full ring", i)
+		}
+	}
+	if r.Push(&c) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		got := r.Peek()
+		if got == nil {
+			t.Fatalf("peek %d on non-empty ring returned nil", i)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("cell %d out of order: got %d", i, got[0])
+		}
+		r.Advance()
+	}
+	if r.Peek() != nil {
+		t.Fatal("peek on empty ring returned a cell")
+	}
+	// Wrap around: slot sequences keep the ring usable lap after lap.
+	for round := 0; round < 10; round++ {
+		c[0] = byte(round)
+		if !r.Push(&c) {
+			t.Fatalf("round %d: push refused", round)
+		}
+		got := r.Peek()
+		if got == nil || got[0] != byte(round) {
+			t.Fatalf("round %d: bad peek", round)
+		}
+		r.Advance()
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len() = %d after drain, want 0", r.Len())
+	}
+}
+
+// TestMPSCRingLenNeverNegative is the Len regression test shared with the
+// SPSC ring: a head load racing a wrap used to produce a huge negative
+// count. The pathological index state is constructed directly — tail ahead
+// of head is exactly what a stale head load paired with a fresh tail load
+// observes.
+func TestMPSCRingLenNeverNegative(t *testing.T) {
+	r := NewMPSCRing(8)
+	r.head.Store(3)
+	r.tail.Store(5)
+	if got := r.Len(); got != 0 {
+		t.Fatalf("Len() with tail ahead of head = %d, want 0 (clamped)", got)
+	}
+	// And the upper clamp: a torn pair can also overshoot capacity.
+	r.head.Store(100)
+	r.tail.Store(0)
+	if got := r.Len(); got != r.Capacity() {
+		t.Fatalf("Len() with runaway head = %d, want capacity %d", got, r.Capacity())
+	}
+}
+
+// TestMPSCRingMultiProducerStorm runs several producers against one
+// consumer under `make race`: every cell arrives exactly once with intact
+// contents, and cells of one producer arrive in that producer's push order
+// — the per-VC FIFO guarantee the forwarder relies on.
+func TestMPSCRingMultiProducerStorm(t *testing.T) {
+	const (
+		producers   = 4
+		perProducer = 50000
+	)
+	r := NewMPSCRing(64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var c Cell
+			for i := uint64(0); i < perProducer; {
+				binary.BigEndian.PutUint64(c[:8], uint64(p)<<32|i)
+				// Body bytes derived from (p, i) so a torn read is visible.
+				b := byte(p) ^ byte(i)
+				for j := 8; j < len(c); j++ {
+					c[j] = b + byte(j)
+				}
+				if r.Push(&c) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	var next [producers]uint64
+	total := uint64(0)
+	for total < producers*perProducer {
+		c := r.Peek()
+		if c == nil {
+			runtime.Gosched()
+			continue
+		}
+		word := binary.BigEndian.Uint64(c[:8])
+		p, i := int(word>>32), word&0xffffffff
+		if p < 0 || p >= producers {
+			t.Fatalf("cell from unknown producer %d", p)
+		}
+		if i != next[p] {
+			t.Fatalf("producer %d: cell %d arrived when %d expected (per-producer FIFO broken)", p, i, next[p])
+		}
+		b := byte(p) ^ byte(i)
+		for j := 8; j < len(c); j++ {
+			if c[j] != b+byte(j) {
+				t.Fatalf("producer %d cell %d: torn byte %d", p, i, j)
+			}
+		}
+		next[p]++
+		if n := r.Len(); n < 0 || n > r.Capacity() {
+			t.Fatalf("Len() = %d out of [0, %d] mid-storm", n, r.Capacity())
+		}
+		r.Advance()
+		total++
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after storm: %d", r.Len())
+	}
+	for p, n := range next {
+		if n != perProducer {
+			t.Fatalf("producer %d delivered %d of %d cells", p, n, perProducer)
+		}
+	}
+}

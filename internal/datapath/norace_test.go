@@ -1,0 +1,11 @@
+//go:build !race
+
+package datapath
+
+// Full-size counts for the multi-core conservation property when the race
+// detector is off: each quick.Check seed storms 8 producers × 8000 cells
+// through the running forwarder.
+const (
+	conservationQuickRuns    = 3
+	conservationCellsPerPort = 8000
+)

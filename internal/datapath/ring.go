@@ -63,8 +63,24 @@ func NewRing(capacity int) *Ring {
 func (r *Ring) Capacity() int { return len(r.buf) }
 
 // Len returns the number of cells currently queued. It is exact when the
-// ring is quiescent and a consistent snapshot bound otherwise.
-func (r *Ring) Len() int { return int(r.head.Load() - r.tail.Load()) }
+// ring is quiescent and a consistent snapshot bound otherwise. The loads
+// are ordered tail before head: loading head first can observe a head from
+// before a consumer advance and a tail from after it, making the difference
+// wrap negative. With tail loaded first the head observed afterwards is
+// always at least the tail observed, so the difference stays meaningful;
+// the clamps keep even a pathological interleaving inside [0, Capacity].
+func (r *Ring) Len() int {
+	tail := r.tail.Load()
+	head := r.head.Load()
+	n := int64(head - tail)
+	if n < 0 {
+		return 0
+	}
+	if n > int64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(n)
+}
 
 // Push copies c into the ring, returning false (dropping nothing, writing
 // nothing) when the ring is full. Producer side only.

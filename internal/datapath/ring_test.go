@@ -59,6 +59,32 @@ func TestRingFIFOAndFull(t *testing.T) {
 	}
 }
 
+// TestRingLenNeverNegative is the regression test for the Len wrap race:
+// Len used to load head before tail, so a consumer advancing between the
+// two loads made head-tail wrap negative (and int-cast into a huge bogus
+// count on 32-bit, a negative one on 64-bit). The racing interleaving is
+// reproduced by constructing its observable state directly: a tail ahead
+// of the loaded head.
+func TestRingLenNeverNegative(t *testing.T) {
+	r := NewRing(8)
+	r.head.Store(3)
+	r.tail.Store(5)
+	if got := r.Len(); got != 0 {
+		t.Fatalf("Len() with tail ahead of head = %d, want 0 (clamped)", got)
+	}
+	r.head.Store(100)
+	r.tail.Store(0)
+	if got := r.Len(); got != r.Capacity() {
+		t.Fatalf("Len() with runaway head = %d, want capacity %d", got, r.Capacity())
+	}
+	// Sanity: normal occupancy is still exact.
+	r.head.Store(7)
+	r.tail.Store(3)
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len() = %d, want 4", got)
+	}
+}
+
 // TestRingSPSCStorm runs one producer against one consumer and checks,
 // under the race detector in `make race`, that every cell arrives exactly
 // once,
